@@ -1,0 +1,70 @@
+// Ablation of the §6.1 marking rules: loss-only marking vs the full
+// loss + (tau, alpha) one-way-delay rule, evaluated both at the aggregate
+// level (frequency/duration) and at the episode level (recall, precision,
+// onset error) against ground truth.
+#include <cstdio>
+
+#include "common.h"
+#include "core/episode_match.h"
+#include "measure/episodes.h"
+
+namespace {
+
+using namespace bb;
+using namespace bb::bench;
+
+void run_rule(const probes::BadabingTool& tool, const scenarios::Experiment& exp,
+              const core::MarkingConfig& marking, const char* label, double true_freq,
+              double true_dur) {
+    core::CongestionMarker marker{marking};
+    const auto marks = marker.mark(tool.outcomes());
+
+    // Aggregate estimates.
+    const auto res = tool.analyze(marking);
+    const double est_dur =
+        res.duration_basic.valid ? res.duration_basic.seconds(tool.slot_width()) : 0.0;
+
+    // Episode-level match.
+    const auto intervals = measure::episode_slot_intervals(exp.episodes(), tool.slot_width(),
+                                                           TimeNs::zero());
+    const auto match = core::match_episodes(marks, intervals);
+
+    std::printf("%-12s | %-8.4f %-8.4f | %-7.3f %-7.3f | %-6.2f %-6.2f | %-9.2f | %.2f\n",
+                label, true_freq, res.frequency.value, true_dur, est_dur, match.recall,
+                match.probed_recall, match.precision, match.mean_onset_error_slots);
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation: loss-only marking vs the Sec 6.1 loss+delay rule (CBR, p=0.3)",
+                 "Sommers et al., SIGCOMM 2005, Section 6.1");
+
+    const auto wl = cbr_uniform_workload();
+    scenarios::Experiment exp{bench_testbed(), wl, truth_for(wl)};
+    probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+    const auto truth = exp.truth();
+
+    std::printf("%-12s | %-17s | %-15s | %-13s | %-9s | %s\n", "marking", "frequency",
+                "duration (s)", "ep. recall", "precision", "onset err");
+    std::printf("%-12s | %-8s %-8s | %-7s %-7s | %-6s %-6s | %-9s | %s\n", "", "true", "est",
+                "true", "est", "all", "probed", "", "(slots)");
+    std::printf("---------------------------------------------------------------------------\n");
+
+    core::MarkingConfig loss_only = exp.default_marking(0.3);
+    loss_only.use_delay_rule = false;
+    run_rule(tool, exp, loss_only, "loss-only", truth.frequency, truth.mean_duration_s);
+
+    const core::MarkingConfig full = exp.default_marking(0.3);
+    run_rule(tool, exp, full, "loss+delay", truth.frequency, truth.mean_duration_s);
+
+    std::printf("\nexpected shape: the delay rule adds marked slots around losses,\n"
+                "raising episode recall and filling in episode interiors (shorter\n"
+                "onset error) at a small cost in precision -- the reason Sec 6.1\n"
+                "introduces the (tau, alpha) rule instead of loss-only marking.\n");
+    return 0;
+}

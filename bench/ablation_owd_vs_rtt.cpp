@@ -1,0 +1,125 @@
+// Ablation: one-way-delay marking vs round-trip (ping-style) marking when
+// the *reverse* path is congested.
+//
+// BADABING is deliberately a one-way tool (§1, §6.1): its congestion marking
+// thresholds the forward one-way delay.  A PING-style arrangement that
+// reflects probes and thresholds the RTT cannot tell forward congestion from
+// reverse congestion.  Here the forward bottleneck carries the engineered
+// loss episodes while an independent CBR load congests the reverse path;
+// the OWD tool stays accurate, the RTT tool marks phantom congestion.
+#include <cstdio>
+
+#include "common.h"
+#include "measure/loss_monitor.h"
+#include "sim/router.h"
+#include "traffic/cbr.h"
+#include "traffic/episodic.h"
+
+namespace {
+
+using namespace bb;
+using namespace bb::bench;
+
+struct Result {
+    double true_freq;
+    double est_freq;
+    double true_dur;
+    double est_dur;
+};
+
+Result run(bool rtt_mode, double reverse_load) {
+    const auto tb_cfg = bench_testbed();
+    const TimeNs horizon = bench_duration();
+
+    sim::Scheduler sched;
+    sim::FlowDemux fwd_demux;
+    sim::FlowDemux rev_demux;
+    sim::CountingSink blackhole;
+    fwd_demux.set_default(blackhole);
+    rev_demux.set_default(blackhole);
+
+    // Forward bottleneck with engineered episodes.
+    sim::QueueBase::LinkConfig link;
+    link.rate_bps = tb_cfg.bottleneck_rate_bps;
+    link.prop_delay = tb_cfg.prop_delay;
+    link.capacity_time = tb_cfg.buffer_time;
+    sim::BottleneckQueue fwd_queue{sched, link, fwd_demux};
+    measure::LossMonitor monitor{sched, fwd_queue};
+
+    traffic::EpisodicBurstSource::Config burst;
+    burst.episode_durations = {milliseconds(68)};
+    burst.mean_gap = seconds_i(10);
+    burst.bottleneck_rate_bps = link.rate_bps;
+    burst.bottleneck_capacity_bytes = fwd_queue.capacity_bytes();
+    burst.background_load = 0.0;
+    burst.stop = horizon;
+    traffic::EpisodicBurstSource bursts{sched, burst, fwd_queue, Rng{bench_seed() ^ 0xF}};
+
+    // Reverse path: its own queue, optionally congested by independent CBR.
+    sim::BottleneckQueue rev_queue{sched, link, rev_demux};
+    std::unique_ptr<traffic::CbrSource> rev_cbr;
+    if (reverse_load > 0.0) {
+        traffic::CbrSource::Config c;
+        c.rate_bps = static_cast<std::int64_t>(reverse_load *
+                                               static_cast<double>(link.rate_bps));
+        c.flow = 9999;
+        c.stop = horizon;
+        rev_cbr = std::make_unique<traffic::CbrSource>(sched, c, rev_queue);
+    }
+
+    // The tool: identical configuration; only where its receiver sits differs.
+    probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = horizon / bc.slot_width;
+    probes::BadabingTool tool{sched, bc, fwd_queue, Rng{bench_seed() ^ 0xB}};
+    sim::Reflector reflector{rev_queue};
+    if (rtt_mode) {
+        // Ping-style: probes reflected over the (congested) reverse path and
+        // measured at the sender; delays include reverse queueing.
+        fwd_demux.bind(bc.flow, reflector);
+        rev_demux.bind(bc.flow, tool);
+    } else {
+        // BADABING's one-way arrangement: measured at the receiver.
+        fwd_demux.bind(bc.flow, tool);
+    }
+
+    sched.run_until(horizon + seconds_i(2));
+
+    const auto truth = measure::summarize_truth(monitor.episodes(milliseconds(100)),
+                                                bc.slot_width, TimeNs::zero(), horizon);
+    core::MarkingConfig marking;
+    marking.tau = scenarios::tau_for_probe_rate(bc.p, bc.slot_width);
+    marking.alpha = 0.1;
+    const auto res = tool.analyze(marking);
+    return Result{truth.frequency, res.frequency.value, truth.mean_duration_s,
+                  res.duration_basic.valid ? res.duration_basic.seconds(bc.slot_width)
+                                           : 0.0};
+}
+
+}  // namespace
+
+int main() {
+    print_header(
+        "Ablation: one-way-delay marking vs RTT (ping-style) marking, congested reverse path",
+        "motivates the one-way design of Sommers et al., SIGCOMM 2005, Sections 1/6.1");
+    std::printf("%-12s | %-9s | %-19s | %-19s\n", "marking", "rev load", "loss frequency",
+                "loss duration (s)");
+    std::printf("%-12s | %-9s | %-9s %-9s | %-9s %-9s\n", "", "", "true", "est", "true",
+                "est");
+    std::printf("------------------------------------------------------------------\n");
+    for (const double rev_load : {0.0, 0.97}) {
+        for (const bool rtt : {false, true}) {
+            const auto r = run(rtt, rev_load);
+            std::printf("%-12s | %-9.2f | %-9.4f %-9.4f | %-9.3f %-9.3f\n",
+                        rtt ? "RTT (ping)" : "one-way", rev_load, r.true_freq, r.est_freq,
+                        r.true_dur, r.est_dur);
+        }
+    }
+    std::printf("\nexpected shape: with an idle reverse path both arrangements agree;\n"
+                "with heavy reverse-path queueing the RTT tool's delays absorb the\n"
+                "reverse queue and its frequency estimate inflates with phantom\n"
+                "congestion, while the one-way tool is untouched -- the reason the\n"
+                "paper measures one-way delay and (Sec 7) worries about clock sync\n"
+                "rather than using round-trips.\n");
+    return 0;
+}

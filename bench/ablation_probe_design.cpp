@@ -1,0 +1,82 @@
+// Ablation: geometric (the paper's) probe design vs Poisson-modulated probe
+// *pairs* at the same budget, on synthetic congestion.
+//
+// The paper's §1/§2 discussion: PASTA says Poisson sampling is unbiased for
+// time averages, but gives no handle on episode *duration*; the geometric
+// slot design yields the y-state bookkeeping that does.  Here the "Poisson"
+// design sends basic experiments at exponential inter-start times with the
+// same mean, showing that frequency matches while the estimator mechanics
+// are identical — the paper's point that the design's benefit is the
+// experiment structure, not exotic timing.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/estimators.h"
+#include "core/probe_process.h"
+#include "core/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bb;
+using namespace bb::core;
+
+std::vector<Experiment> poisson_design(Rng& rng, SlotIndex total_slots, double p) {
+    // Exponential inter-start gaps with mean 1/p slots, quantized to slots.
+    std::vector<Experiment> experiments;
+    double t = 0.0;
+    while (true) {
+        t += rng.exponential(1.0 / p);
+        const auto slot = static_cast<SlotIndex>(t);
+        if (slot + 2 > total_slots) break;
+        experiments.push_back({slot, ExperimentKind::basic});
+    }
+    return experiments;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("================================================================\n");
+    std::printf("Ablation: geometric vs Poisson-modulated experiment starts\n");
+    std::printf("reproduces: design discussion of Sommers et al., SIGCOMM 2005, Sec 1/5\n");
+    std::printf("process: episodes mean 14 slots, gaps mean 1990 slots, N = 2M slots\n");
+    std::printf("================================================================\n");
+    std::printf("%-6s | %-10s | %-9s %-9s | %-9s %-9s\n", "p", "design", "true F", "est F",
+                "true D", "est D");
+    std::printf("----------------------------------------------------------------\n");
+
+    constexpr SlotIndex kSlots = 2'000'000;
+    for (const double p : {0.1, 0.3, 0.5}) {
+        Rng rng{314};
+        const auto series = synth_congestion_series(rng, kSlots, 14.0, 1990.0);
+        const auto truth = series_truth(series);
+
+        ProbeProcessConfig gcfg;
+        gcfg.p = p;
+        const auto geometric = design_probe_process(rng, kSlots, gcfg);
+        auto poisson = poisson_design(rng, kSlots, p);
+
+        for (const auto& [label, experiments] :
+             {std::pair<const char*, const std::vector<Experiment>*>{"geometric",
+                                                                     &geometric.experiments},
+              {"poisson", &poisson}}) {
+            const auto obs =
+                observe_with_fidelity(*experiments, series, FidelityModel{1.0, 1.0}, rng);
+            StateCounts counts;
+            for (const auto& r : obs) counts.add(r);
+            const auto f = estimate_frequency(counts);
+            const auto d = estimate_duration_basic(counts);
+            std::printf("%-6.1f | %-10s | %-9.5f %-9.5f | %-9.2f %-9.2f\n", p, label,
+                        truth.frequency, f.value, truth.mean_duration_slots,
+                        d.valid ? d.slots : 0.0);
+        }
+    }
+    std::printf("\nexpected shape: both designs estimate F and D consistently -- the\n"
+                "power comes from probing *adjacent slot pairs* and the y-state\n"
+                "estimators, not from the modulation; the geometric design is simply\n"
+                "the natural discrete-time formulation (Sec 5.2) whose inter-probe\n"
+                "gaps drive the tau rule.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Extension experiment: BADABING against a RED (AQM) bottleneck.
+//
+// The paper measures a drop-tail GSR and asks (§7) how the method behaves in
+// "more complex environments".  Under RED, drops are spread in time and the
+// queue is held below the tail, so (a) "loss episodes" become long, diffuse
+// regions of low-grade loss, and (b) the (1-alpha)*OWD_max delay rule loses
+// its sharp high-water edge.
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+using namespace bb::bench;
+
+void run_discipline(bb::scenarios::QueueDiscipline discipline, const char* label) {
+    auto tb = bench_testbed();
+    tb.discipline = discipline;
+    // Push RED into its early-drop regime with sustained TCP load.
+    auto wl = infinite_tcp_workload();
+
+    bb::scenarios::Experiment exp{tb, wl, truth_for(wl)};
+    bb::probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+
+    const auto truth = exp.truth();
+    const auto res = tool.analyze(exp.default_marking(0.3));
+    const double est_dur =
+        res.duration_basic.valid ? res.duration_basic.seconds(tool.slot_width()) : 0.0;
+    std::printf("%-10s | %-9.4f %-9.4f | %-9.3f %-9.3f | %-8zu | %.3f\n", label,
+                truth.frequency, res.frequency.value, truth.mean_duration_s, est_dur,
+                truth.episodes, res.validation.pair_asymmetry);
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation: drop-tail vs RED bottleneck (TCP cross traffic, p = 0.3)",
+                 "extension of Sommers et al., SIGCOMM 2005, Section 7 discussion");
+    std::printf("%-10s | %-19s | %-19s | %-8s | %s\n", "queue", "loss frequency",
+                "loss duration (s)", "episodes", "validation");
+    std::printf("%-10s | %-9s %-9s | %-9s %-9s | %-8s | %s\n", "", "true", "est", "true",
+                "est", "", "pair-asym");
+    std::printf("------------------------------------------------------------------------\n");
+    run_discipline(bb::scenarios::QueueDiscipline::drop_tail, "drop-tail");
+    run_discipline(bb::scenarios::QueueDiscipline::red, "RED");
+    std::printf("\nexpected shape: RED spreads drops in time, so the router-centric\n"
+                "episode clustering produces fewer, longer episodes, and the delay\n"
+                "rule contributes less (the queue never rides the tail); estimates\n"
+                "degrade relative to the crisp drop-tail case, motivating the paper's\n"
+                "future-work question.\n");
+    return 0;
+}

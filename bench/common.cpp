@@ -1,0 +1,128 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bb::bench {
+
+namespace {
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::atoll(v) : fallback;
+}
+}  // namespace
+
+TimeNs bench_duration() { return seconds_i(env_int("BB_BENCH_DURATION_S", 900)); }
+
+std::uint64_t bench_seed() {
+    return static_cast<std::uint64_t>(env_int("BB_BENCH_SEED", 7));
+}
+
+scenarios::TestbedConfig bench_testbed() {
+    scenarios::TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = env_int("BB_BENCH_RATE_MBPS", 30) * 1'000'000;
+    return cfg;
+}
+
+scenarios::WorkloadConfig infinite_tcp_workload() {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::infinite_tcp;
+    wl.duration = bench_duration();
+    wl.seed = bench_seed();
+    // 40 flows on OC3 ~= 10 flows at 30 Mb/s (same per-flow bottleneck share).
+    wl.tcp_flows = static_cast<int>(
+        env_int("BB_BENCH_TCP_FLOWS", 10 * env_int("BB_BENCH_RATE_MBPS", 30) / 30));
+    return wl;
+}
+
+scenarios::WorkloadConfig cbr_uniform_workload() {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::cbr_uniform;
+    wl.duration = bench_duration();
+    wl.seed = bench_seed();
+    wl.episode_duration = milliseconds(68);
+    wl.mean_episode_gap = seconds_i(10);
+    return wl;
+}
+
+scenarios::WorkloadConfig cbr_multi_workload() {
+    scenarios::WorkloadConfig wl = cbr_uniform_workload();
+    wl.kind = scenarios::TrafficKind::cbr_multi;
+    wl.episode_durations = {milliseconds(50), milliseconds(100), milliseconds(150)};
+    return wl;
+}
+
+scenarios::WorkloadConfig web_workload() {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::web;
+    wl.duration = bench_duration();
+    wl.seed = bench_seed();
+    // Tuned so overload episodes appear roughly every 20 s (paper §4.2),
+    // scaled with the bottleneck rate.
+    wl.web_session_rate_per_s =
+        5.0 * static_cast<double>(env_int("BB_BENCH_RATE_MBPS", 30)) / 30.0;
+    return wl;
+}
+
+scenarios::TruthConfig truth_for(const scenarios::WorkloadConfig& wl) {
+    scenarios::TruthConfig tc;
+    tc.delay_based = wl.kind == scenarios::TrafficKind::web;
+    return tc;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("testbed: %lld Mb/s bottleneck, 50 ms one-way delay, 100 ms buffer\n",
+                static_cast<long long>(bench_testbed().bottleneck_rate_bps / 1'000'000));
+    std::printf("run: %.0f s, seed %llu\n", bench_duration().to_seconds(),
+                static_cast<unsigned long long>(bench_seed()));
+    std::printf("================================================================\n");
+}
+
+void print_truth(const measure::TruthSummary& t) {
+    std::printf("ground truth: frequency %.4f | duration mu %.3f s (sigma %.3f) | "
+                "%zu episodes, %llu drops\n",
+                t.frequency, t.mean_duration_s, t.sd_duration_s, t.episodes,
+                static_cast<unsigned long long>(t.total_drops));
+}
+
+BadabingRow run_badabing_row(const scenarios::WorkloadConfig& wl, double p, bool improved) {
+    scenarios::Experiment exp{bench_testbed(), wl, truth_for(wl)};
+    probes::BadabingConfig bc;
+    bc.p = p;
+    bc.improved = improved;
+    bc.total_slots = 0;  // sized to the workload window
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+
+    BadabingRow row;
+    row.p = p;
+    row.truth = exp.truth();
+    row.result = tool.analyze(exp.default_marking(p));
+    row.offered_load =
+        tool.offered_load_fraction(exp.testbed().config().bottleneck_rate_bps);
+    return row;
+}
+
+void print_badabing_table(const std::string& title, const std::string& paper_ref,
+                          const std::vector<BadabingRow>& rows, TimeNs slot_width) {
+    print_header(title, paper_ref);
+    std::printf("%-5s | %-20s | %-20s | %-9s | %s\n", "p", "loss frequency", "loss duration (s)",
+                "probe", "validation");
+    std::printf("%-5s | %-9s %-10s | %-9s %-10s | %-9s | %s\n", "", "true", "badabing", "true",
+                "badabing", "load", "pair-asym");
+    std::printf("----------------------------------------------------------------\n");
+    for (const auto& r : rows) {
+        const double est_dur = r.result.duration_basic.valid
+                                   ? r.result.duration_basic.seconds(slot_width)
+                                   : 0.0;
+        std::printf("%-5.1f | %-9.4f %-10.4f | %-9.3f %-10.3f | %-9.4f | %.3f\n", r.p,
+                    r.truth.frequency, r.result.frequency.value, r.truth.mean_duration_s,
+                    est_dur, r.offered_load, r.result.validation.pair_asymmetry);
+    }
+    std::printf("\n");
+}
+
+}  // namespace bb::bench

@@ -1,0 +1,49 @@
+// Consistency of the §5 estimators on a synthetic alternating-renewal
+// congestion process, independent of any network simulation: F̂ and D̂ vs
+// truth as the number of slots N grows (the convergence the paper proves).
+#include <cstdio>
+
+#include "core/estimators.h"
+#include "core/probe_process.h"
+#include "core/synthetic.h"
+#include "core/validation.h"
+#include "util/rng.h"
+
+int main() {
+    using namespace bb;
+    using namespace bb::core;
+
+    std::printf("================================================================\n");
+    std::printf("Consistency sweep: estimators on a synthetic renewal process\n");
+    std::printf("reproduces: Sommers et al., SIGCOMM 2005, Section 5 claims\n");
+    std::printf("process: geometric episodes mean 14 slots, gaps mean 1990 slots\n");
+    std::printf("(F = 0.007, D = 14 slots); probe rate p = 0.3, improved design\n");
+    std::printf("================================================================\n");
+    std::printf("%-10s | %-9s %-9s | %-9s %-9s | %-9s\n", "N (slots)", "true F", "est F",
+                "true D", "est D", "pair-asym");
+    std::printf("----------------------------------------------------------------\n");
+
+    for (const SlotIndex n : {10'000L, 40'000L, 160'000L, 640'000L, 2'560'000L}) {
+        Rng rng{2024};
+        const auto series = synth_congestion_series(rng, n, 14.0, 1990.0);
+        ProbeProcessConfig pcfg;
+        pcfg.p = 0.3;
+        pcfg.improved = true;
+        const auto design = design_probe_process(rng, n, pcfg);
+        const auto obs =
+            observe_with_fidelity(design.experiments, series, FidelityModel{1.0, 1.0}, rng);
+        StateCounts counts;
+        for (const auto& r : obs) counts.add(r);
+
+        const auto truth = series_truth(series);
+        const auto f = estimate_frequency(counts);
+        const auto d = estimate_duration_basic(counts);
+        const auto v = validate(counts);
+        std::printf("%-10ld | %-9.5f %-9.5f | %-9.2f %-9.2f | %-9.3f\n", n, truth.frequency,
+                    f.value, truth.mean_duration_slots, d.valid ? d.slots : 0.0,
+                    v.pair_asymmetry);
+    }
+    std::printf("\nexpected shape: both estimates converge to the truth and the\n"
+                "validation asymmetry shrinks as N grows (consistency, §5.2.2).\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Figures 4, 5, 6: queue-length (expressed as queueing delay in seconds)
+// time series for the three traffic scenarios.  Writes one CSV per scenario
+// into ./fig_data/ and prints summary statistics of the series.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common.h"
+#include "measure/loss_monitor.h"
+
+namespace {
+
+using namespace bb::bench;
+
+void run_series(const char* name, const char* paper_fig,
+                const bb::scenarios::WorkloadConfig& base_wl) {
+    auto wl = base_wl;
+    // The paper's figures show a ~10-30 s excerpt; sample 60 s at 1 ms.
+    wl.duration = std::min(wl.duration, bb::seconds_i(60));
+    bb::scenarios::Experiment exp{bench_testbed(), wl, truth_for(wl)};
+    bb::measure::QueueSampler sampler{exp.testbed().sched(), exp.testbed().bottleneck(),
+                                      bb::milliseconds(1), wl.duration};
+    exp.run();
+
+    std::filesystem::create_directories("fig_data");
+    const std::string path = std::string("fig_data/") + name + "_queue.csv";
+    std::ofstream out{path};
+    out << "t_seconds,queue_delay_seconds\n";
+    for (const auto& pt : sampler.series().points()) {
+        out << pt.t << ',' << pt.value << '\n';
+    }
+
+    const auto& series = sampler.series();
+    const auto truth = exp.truth();
+    const double cap = exp.testbed().bottleneck().max_queueing_delay().to_seconds();
+    std::size_t near_full = 0;
+    std::size_t near_empty = 0;
+    for (const auto& pt : series.points()) {
+        if (pt.value > 0.9 * cap) ++near_full;
+        if (pt.value < 0.1 * cap) ++near_empty;
+    }
+    std::printf("%-14s (%s): %zu samples -> %s\n", name, paper_fig, series.size(),
+                path.c_str());
+    std::printf("    queue delay: mean %.4f s, max %.4f s (buffer %.3f s)\n",
+                series.mean_over(0.0, 1e9), series.max_value(), cap);
+    std::printf("    %.1f%% of time near-full (>90%%), %.1f%% near-empty (<10%%); "
+                "%zu loss episodes in the window\n",
+                100.0 * static_cast<double>(near_full) / static_cast<double>(series.size()),
+                100.0 * static_cast<double>(near_empty) / static_cast<double>(series.size()),
+                truth.episodes);
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figures 4-6: bottleneck queue-length time series per scenario",
+                 "Sommers et al., SIGCOMM 2005, Figures 4, 5, 6");
+    run_series("infinite_tcp", "Fig 4", infinite_tcp_workload());
+    run_series("cbr_uniform", "Fig 5", cbr_uniform_workload());
+    run_series("web", "Fig 6", web_workload());
+    std::printf("\nexpected shape (paper): Fig 4 shows the synchronized TCP sawtooth\n"
+                "riding near the buffer limit; Fig 5 shows an idle queue with isolated\n"
+                "~100 ms spikes at each engineered episode; Fig 6 shows irregular\n"
+                "bursty excursions from the web workload.\n");
+    return 0;
+}

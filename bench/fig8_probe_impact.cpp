@@ -1,0 +1,85 @@
+// Figure 8: impact of probe-train length on the queue dynamics during loss
+// episodes.  Compares no probes vs 3-packet vs 10-packet trains at a fixed
+// 10 ms interval under infinite-TCP traffic, reporting how the probe load
+// perturbs the loss process it is trying to measure.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common.h"
+#include "measure/loss_monitor.h"
+
+namespace {
+
+using namespace bb::bench;
+
+struct ImpactRow {
+    int probe_packets;
+    bb::measure::TruthSummary truth;
+    std::uint64_t cross_drops;
+    std::uint64_t probe_drops;
+    double probe_load;
+};
+
+ImpactRow run_one(int probe_packets) {
+    auto wl = infinite_tcp_workload();
+    wl.duration = std::min(wl.duration, bb::seconds_i(300));
+    bb::scenarios::Experiment exp{bench_testbed(), wl, truth_for(wl)};
+
+    bb::probes::FixedIntervalProber* prober = nullptr;
+    if (probe_packets > 0) {
+        bb::probes::FixedIntervalProber::Config pc;
+        pc.interval = bb::milliseconds(10);
+        pc.packets_per_probe = probe_packets;
+        prober = &exp.add_fixed_prober(pc);
+    }
+
+    // Sample a short excerpt of the queue for the CSV, as in the figure.
+    bb::measure::QueueSampler sampler{exp.testbed().sched(), exp.testbed().bottleneck(),
+                                      bb::milliseconds(1), bb::seconds_i(30)};
+    exp.run();
+
+    std::filesystem::create_directories("fig_data");
+    const std::string path =
+        "fig_data/fig8_probes" + std::to_string(probe_packets) + "_queue.csv";
+    std::ofstream out{path};
+    out << "t_seconds,queue_delay_seconds\n";
+    for (const auto& pt : sampler.series().points()) out << pt.t << ',' << pt.value << '\n';
+
+    ImpactRow row;
+    row.probe_packets = probe_packets;
+    row.truth = exp.truth();
+    row.cross_drops = exp.monitor().cross_traffic_drops();
+    row.probe_drops = exp.monitor().probe_drops();
+    const double span = wl.duration.to_seconds();
+    const double probe_bytes =
+        prober != nullptr
+            ? static_cast<double>(probe_packets) * 600.0 * span / 0.010
+            : 0.0;
+    row.probe_load = probe_bytes * 8.0 /
+                     (static_cast<double>(bench_testbed().bottleneck_rate_bps) * span);
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figure 8: probe-train impact on queue/loss dynamics (10 ms interval)",
+                 "Sommers et al., SIGCOMM 2005, Figure 8");
+    std::printf("%-10s | %-9s | %-9s | %-11s | %-11s | %-9s\n", "probe pkts", "freq",
+                "dur (s)", "cross drops", "probe drops", "probe load");
+    std::printf("----------------------------------------------------------------------\n");
+    for (const int n : {0, 3, 10}) {
+        const auto r = run_one(n);
+        std::printf("%-10d | %-9.4f | %-9.3f | %-11llu | %-11llu | %-9.4f\n", n,
+                    r.truth.frequency, r.truth.mean_duration_s,
+                    static_cast<unsigned long long>(r.cross_drops),
+                    static_cast<unsigned long long>(r.probe_drops), r.probe_load);
+    }
+    std::printf("\nqueue excerpts written to fig_data/fig8_probes{0,3,10}_queue.csv\n");
+    std::printf("expected shape (paper): 3-packet probes perturb the loss process only\n"
+                "mildly, while 10-packet trains visibly increase drops and lengthen the\n"
+                "episodes they are trying to observe.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Section 3 reproduction: router-centric vs end-to-end loss rates, and the
+// paper's observation that during loss episodes packets keep flowing at
+// B_out, so some flows lose nothing even while the router drops.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.h"
+#include "measure/flow_stats.h"
+#include "traffic/cbr.h"
+#include "util/stats.h"
+
+int main() {
+    using namespace bb;
+    using namespace bb::bench;
+
+    print_header("Section 3: router-centric vs end-to-end loss rates",
+                 "Sommers et al., SIGCOMM 2005, Section 3 definitions");
+
+    scenarios::Testbed tb{bench_testbed()};
+    measure::FlowStats stats{tb.bottleneck(), /*record_events=*/true};
+    measure::LossMonitor mon{tb.sched(), tb.bottleneck()};
+
+    // 100 jittered low-rate CBR flows at ~60% aggregate load, plus an episodic burst
+    // source that pushes the link into loss every few seconds: episodes are
+    // periods where the *aggregate* exceeds B_out, exactly the paper's model.
+    const TimeNs horizon = std::min(bench_duration(), seconds_i(300));
+    Rng jitter{bench_seed()};
+    const std::int64_t base_per_flow = tb.config().bottleneck_rate_bps * 60 / 100 / 100;
+    std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+    for (sim::FlowId f = 1; f <= 100; ++f) {
+        traffic::CbrSource::Config c;
+        // Slightly unequal rates and staggered starts so flows do not phase-
+        // lock at the deterministic drop-tail queue.
+        c.rate_bps = base_per_flow + jitter.uniform_int(-base_per_flow / 10,
+                                                        base_per_flow / 10);
+        c.packet_bytes = 1000 + static_cast<std::int32_t>(jitter.uniform_int(0, 500));
+        c.start = seconds(jitter.uniform(0.0, 0.5));
+        c.flow = f;
+        c.stop = horizon;
+        sources.push_back(
+            std::make_unique<traffic::CbrSource>(tb.sched(), c, tb.forward_in()));
+    }
+    traffic::EpisodicBurstSource::Config burst;
+    burst.episode_durations = {milliseconds(80)};
+    burst.mean_gap = seconds_i(5);
+    burst.flow = 1000;
+    burst.bottleneck_rate_bps = tb.config().bottleneck_rate_bps;
+    burst.bottleneck_capacity_bytes = tb.bottleneck().capacity_bytes();
+    burst.background_load = 0.6;
+    burst.stop = horizon;
+    traffic::EpisodicBurstSource bursts{tb.sched(), burst, tb.forward_in(),
+                                        Rng{bench_seed() ^ 0x53}};
+    tb.sched().run_until(horizon + seconds_i(2));
+
+    std::printf("router-centric loss rate L/(S+L): %.4f\n", stats.router_loss_rate());
+
+    RunningStats flow_rates;
+    for (const auto& [flow, f] : stats.flows()) flow_rates.add(f.loss_rate());
+    std::printf("end-to-end loss rates across %zu flows: min %.4f, mean %.4f, max %.4f\n",
+                stats.flows().size(), flow_rates.min(), flow_rates.mean(), flow_rates.max());
+
+    const auto episodes = mon.episodes(milliseconds(100));
+    std::size_t episodes_with_lossless_flow = 0;
+    RunningStats lossless_fraction;
+    for (const auto& e : episodes) {
+        const auto active = stats.flows_active_in(e.start, e.end);
+        const auto dropped = stats.flows_dropped_in(e.start, e.end);
+        std::size_t lossless = 0;
+        for (const auto f : active) {
+            if (!dropped.contains(f)) ++lossless;
+        }
+        if (lossless > 0) ++episodes_with_lossless_flow;
+        if (!active.empty()) {
+            lossless_fraction.add(static_cast<double>(lossless) /
+                                  static_cast<double>(active.size()));
+        }
+    }
+    std::printf("\nloss episodes observed: %zu\n", episodes.size());
+    std::printf("episodes during which >= 1 active flow lost nothing: %zu (%.0f%%)\n",
+                episodes_with_lossless_flow,
+                episodes.empty() ? 0.0
+                                 : 100.0 * static_cast<double>(episodes_with_lossless_flow) /
+                                       static_cast<double>(episodes.size()));
+    std::printf("mean fraction of active flows with zero loss per episode: %.2f\n",
+                lossless_fraction.mean());
+    std::printf("\nexpected shape (paper Sec 3): during a period where the\n"
+                "router-centric loss rate is non-zero, there are flows with zero\n"
+                "end-to-end loss -- the observation that motivates probing for\n"
+                "*congestion state* (loss or high delay) rather than for the probe's\n"
+                "own losses.\n");
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Table 1: ZING vs ground truth under 40 infinite TCP sources (scaled).
+#include "zing_tables.h"
+
+int main() {
+    bb::bench::run_zing_table("Table 1: simple Poisson probing, infinite TCP sources",
+                              "Sommers et al., SIGCOMM 2005, Table 1 / Figure 4",
+                              bb::bench::infinite_tcp_workload());
+    return 0;
+}

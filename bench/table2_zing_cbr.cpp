@@ -1,0 +1,11 @@
+// Table 2: ZING vs ground truth under CBR traffic with engineered
+// constant-duration (68 ms) loss episodes at exponential spacing.
+#include "zing_tables.h"
+
+int main() {
+    bb::bench::run_zing_table(
+        "Table 2: simple Poisson probing, randomly spaced constant-duration episodes",
+        "Sommers et al., SIGCOMM 2005, Table 2 / Figure 5",
+        bb::bench::cbr_uniform_workload());
+    return 0;
+}

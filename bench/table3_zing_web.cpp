@@ -1,0 +1,9 @@
+// Table 3: ZING vs ground truth under Harpoon-style web-like traffic.
+#include "zing_tables.h"
+
+int main() {
+    bb::bench::run_zing_table("Table 3: simple Poisson probing, web-like traffic",
+                              "Sommers et al., SIGCOMM 2005, Table 3 / Figure 6",
+                              bb::bench::web_workload());
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Table 4: BADABING loss estimates for CBR traffic with loss episodes of
+// uniform (68 ms) duration, over p in {0.1, 0.3, 0.5, 0.7, 0.9}.
+#include "common.h"
+
+int main() {
+    using namespace bb::bench;
+    std::vector<BadabingRow> rows;
+    for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        rows.push_back(run_badabing_row(cbr_uniform_workload(), p));
+    }
+    print_badabing_table(
+        "Table 4: BADABING, constant bit rate traffic, uniform 68 ms episodes",
+        "Sommers et al., SIGCOMM 2005, Table 4", rows, bb::milliseconds(5));
+    std::printf("expected shape (paper): frequency close to truth for p >= 0.3, worst\n"
+                "at p = 0.1 where the tau window is widest.  The paper's hardware\n"
+                "under-estimated at p = 0.1 (probes often passed through episodes\n"
+                "unscathed); our simulated episodes are fully visible to probes, so\n"
+                "the residual bias is positive instead -- the (1-alpha) high-water\n"
+                "shoulders around each episode.  See EXPERIMENTS.md.\n");
+    return 0;
+}

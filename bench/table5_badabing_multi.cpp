@@ -1,0 +1,15 @@
+// Table 5: BADABING loss estimates for CBR traffic with loss episodes of
+// 50, 100 or 150 ms (drawn uniformly), over p in {0.1 .. 0.9}.
+#include "common.h"
+
+int main() {
+    using namespace bb::bench;
+    std::vector<BadabingRow> rows;
+    for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        rows.push_back(run_badabing_row(cbr_multi_workload(), p));
+    }
+    print_badabing_table(
+        "Table 5: BADABING, constant bit rate traffic, episodes of 50/100/150 ms",
+        "Sommers et al., SIGCOMM 2005, Table 5", rows, bb::milliseconds(5));
+    return 0;
+}

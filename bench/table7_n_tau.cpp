@@ -1,0 +1,50 @@
+// Table 7: trade-off between experiment length N and the tau threshold at a
+// fixed low probe rate p = 0.1 (CBR traffic, uniform episodes).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+    using namespace bb::bench;
+    using bb::scenarios::Experiment;
+
+    const double p = 0.1;
+    print_header("Table 7: p = 0.1 with N in {180k, 720k} slots and tau in {40, 80} ms",
+                 "Sommers et al., SIGCOMM 2005, Table 7");
+    std::printf("%-8s | %-4s | %-20s | %-20s\n", "N", "tau", "loss frequency",
+                "loss duration (s)");
+    std::printf("%-8s | %-4s | %-9s %-10s | %-9s %-10s\n", "(slots)", "(ms)", "true", "est",
+                "true", "est");
+    std::printf("----------------------------------------------------------------\n");
+
+    for (const long n_slots : {180'000L, 720'000L}) {
+        // N slots of 5 ms each; run the workload exactly that long.
+        auto wl = cbr_uniform_workload();
+        wl.duration = bb::milliseconds(5) * n_slots;
+
+        Experiment exp{bench_testbed(), wl, truth_for(wl)};
+        bb::probes::BadabingConfig bc;
+        bc.p = p;
+        bc.total_slots = n_slots;
+        auto& tool = exp.add_badabing(bc);
+        exp.run();
+        const auto truth = exp.truth();
+
+        for (const long tau_ms : {40L, 80L}) {
+            bb::core::MarkingConfig marking;
+            marking.tau = bb::milliseconds(tau_ms);
+            marking.alpha = 0.2;  // the paper's alpha for p = 0.1
+            const auto res = tool.analyze(marking);
+            const double est_dur = res.duration_basic.valid
+                                       ? res.duration_basic.seconds(tool.slot_width())
+                                       : 0.0;
+            std::printf("%-8ld | %-4ld | %-9.4f %-10.4f | %-9.3f %-10.3f\n", n_slots, tau_ms,
+                        truth.frequency, res.frequency.value, truth.mean_duration_s, est_dur);
+        }
+    }
+    std::printf("\nexpected shape (paper): p = 0.1 is the hard regime; changing tau\n"
+                "moves the estimates far more than quadrupling N does (the paper's\n"
+                "point).  Direction of the residual error differs from the paper --\n"
+                "see the Table 4 note and EXPERIMENTS.md.\n");
+    return 0;
+}

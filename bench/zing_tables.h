@@ -1,0 +1,19 @@
+// Shared driver for the ZING evaluation tables (paper Tables 1-3).
+#ifndef BB_BENCH_ZING_TABLES_H
+#define BB_BENCH_ZING_TABLES_H
+
+#include <string>
+
+#include "common.h"
+
+namespace bb::bench {
+
+// Runs the paper's two ZING configurations (10 Hz / 256 B payloads and
+// 20 Hz / 64 B payloads, §4.2) against a workload, each in its own run, and
+// prints the table: true frequency/duration vs ZING's estimates.
+void run_zing_table(const std::string& title, const std::string& paper_ref,
+                    const scenarios::WorkloadConfig& wl);
+
+}  // namespace bb::bench
+
+#endif  // BB_BENCH_ZING_TABLES_H

@@ -1,0 +1,79 @@
+// Tool comparison: BADABING vs Poisson probing (ZING) on an identical path
+// and traffic mix, at a matched probe budget — the paper's headline result
+// (§6.3) as a narrated example.
+#include <cstdio>
+
+#include "scenarios/experiment.h"
+
+namespace {
+
+using namespace bb;
+
+scenarios::WorkloadConfig workload() {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::infinite_tcp;
+    wl.duration = seconds_i(600);
+    wl.tcp_flows = 10;
+    wl.seed = 5;
+    return wl;
+}
+
+scenarios::TestbedConfig testbed() {
+    scenarios::TestbedConfig tb;
+    tb.bottleneck_rate_bps = 30'000'000;
+    return tb;
+}
+
+}  // namespace
+
+int main() {
+    const double p = 0.3;
+
+    // Run 1: BADABING.
+    scenarios::Experiment exp_bb{testbed(), workload()};
+    probes::BadabingConfig bc;
+    bc.p = p;
+    bc.total_slots = 0;
+    auto& badabing = exp_bb.add_badabing(bc);
+    exp_bb.run();
+    const auto truth_bb = exp_bb.truth();
+    const auto res_bb = badabing.analyze(exp_bb.default_marking(p));
+
+    // Run 2: ZING at the same packet rate and size.
+    scenarios::Experiment exp_z{testbed(), workload()};
+    const double pkts_per_s = p * 2.0 * 3.0 / 0.005;
+    probes::ZingProber::Config zc;
+    zc.packet_bytes = 600;
+    zc.mean_interval = seconds(1.0 / pkts_per_s);
+    auto& zing = exp_z.add_zing(zc);
+    exp_z.run();
+    const auto truth_z = exp_z.truth();
+    const auto res_z = zing.result();
+
+    std::printf("Path: 30 Mb/s bottleneck, reactive TCP cross traffic, 600 s runs.\n");
+    std::printf("Both tools spend the same probe budget (~%.0f pkts/s of 600 B).\n\n",
+                pkts_per_s);
+
+    std::printf("BADABING (p = %.1f):\n", p);
+    std::printf("  truth    : frequency %.4f, duration %.3f s\n", truth_bb.frequency,
+                truth_bb.mean_duration_s);
+    std::printf("  estimate : frequency %.4f, duration %.3f s\n", res_bb.frequency.value,
+                res_bb.duration_basic.valid
+                    ? res_bb.duration_basic.seconds(badabing.slot_width())
+                    : 0.0);
+
+    std::printf("\nZING (Poisson, matched rate):\n");
+    std::printf("  truth    : frequency %.4f, duration %.3f s\n", truth_z.frequency,
+                truth_z.mean_duration_s);
+    std::printf("  estimate : frequency %.4f, duration %.3f s  (%llu/%llu probes lost)\n",
+                res_z.loss_frequency, res_z.mean_duration_s,
+                static_cast<unsigned long long>(res_z.lost),
+                static_cast<unsigned long long>(res_z.sent));
+
+    std::printf("\nReading the result: ZING only sees losses that happen to hit its own\n"
+                "packets, so under reactive traffic it reports a tiny loss rate and\n"
+                "near-zero durations; BADABING asks whether each probed *slot* was\n"
+                "congested (loss or near-full one-way delay) and recovers both episode\n"
+                "frequency and duration from the y-state bookkeeping of Section 5.\n");
+    return 0;
+}

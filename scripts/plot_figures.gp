@@ -1,0 +1,64 @@
+# Gnuplot script regenerating the paper's figures from the CSVs that the
+# bench binaries write into ./fig_data/ (run the benches from the build
+# directory first, then `gnuplot ../scripts/plot_figures.gp` there).
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',11'
+set grid
+
+# --- Figures 4-6: queue-length time series ----------------------------------
+set xlabel 'time (seconds)'
+set ylabel 'queue length (seconds)'
+set yrange [0:0.11]
+
+set output 'fig4_infinite_tcp.png'
+set title 'Figure 4: queue length, infinite TCP sources'
+plot 'fig_data/infinite_tcp_queue.csv' skip 1 using 1:2 with lines lw 1 notitle
+
+set output 'fig5_cbr.png'
+set title 'Figure 5: queue length, constant-duration loss episodes'
+plot 'fig_data/cbr_uniform_queue.csv' skip 1 using 1:2 with lines lw 1 notitle
+
+set output 'fig6_web.png'
+set title 'Figure 6: queue length, web-like traffic'
+plot 'fig_data/web_queue.csv' skip 1 using 1:2 with lines lw 1 notitle
+
+set autoscale y
+
+# --- Figure 7: probe length vs miss probability ------------------------------
+set output 'fig7_probe_size.png'
+set title 'Figure 7: P(no loss seen | probe sent during an episode)'
+set xlabel 'packets per probe'
+set ylabel 'empirical miss probability'
+set yrange [0:1]
+set key top right
+plot 'fig_data/fig7_probe_size.csv' skip 1 using 1:2 with linespoints lw 2 title 'infinite TCP', \
+     ''                              skip 1 using 1:3 with linespoints lw 2 title 'CBR bursts'
+set autoscale y
+
+# --- Figure 8: probe impact ---------------------------------------------------
+set output 'fig8_probe_impact.png'
+set title 'Figure 8: queue excerpts with 0 / 3 / 10-packet probe trains'
+set xlabel 'time (seconds)'
+set ylabel 'queue length (seconds)'
+set xrange [10:14]
+plot 'fig_data/fig8_probes0_queue.csv'  skip 1 using 1:2 with lines title 'no probes', \
+     'fig_data/fig8_probes3_queue.csv'  skip 1 using 1:2 with lines title '3-packet probes', \
+     'fig_data/fig8_probes10_queue.csv' skip 1 using 1:2 with lines title '10-packet probes'
+set autoscale x
+
+# --- Figure 9: alpha / tau sensitivity ---------------------------------------
+set output 'fig9a_alpha.png'
+set title 'Figure 9(a): frequency estimates vs p, tau = 80 ms'
+set xlabel 'probe rate p'
+set ylabel 'loss frequency'
+plot 'fig_data/fig9_sensitivity.csv' skip 1 using ($4==80&&$3==0.05?$1:1/0):5 with linespoints title 'alpha=0.05', \
+     ''                              skip 1 using ($4==80&&$3==0.10?$1:1/0):5 with linespoints title 'alpha=0.10', \
+     ''                              skip 1 using ($4==80&&$3==0.20?$1:1/0):5 with linespoints title 'alpha=0.20', \
+     ''                              skip 1 using ($4==80&&$3==0.10?$1:1/0):2 with lines dashtype 2 lw 2 title 'true'
+
+set output 'fig9b_tau.png'
+set title 'Figure 9(b): frequency estimates vs p, alpha = 0.1'
+plot 'fig_data/fig9_sensitivity.csv' skip 1 using ($3==0.1&&$4==20?$1:1/0):5 with linespoints title 'tau=20ms', \
+     ''                              skip 1 using ($3==0.1&&$4==40?$1:1/0):5 with linespoints title 'tau=40ms', \
+     ''                              skip 1 using ($3==0.1&&$4==80?$1:1/0):5 with linespoints title 'tau=80ms', \
+     ''                              skip 1 using ($3==0.1&&$4==80?$1:1/0):2 with lines dashtype 2 lw 2 title 'true'

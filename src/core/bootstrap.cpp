@@ -1,0 +1,62 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace bb::core {
+
+namespace {
+
+BootstrapInterval make_interval(double point, std::vector<double>& samples,
+                                double confidence) {
+    BootstrapInterval iv;
+    iv.point = point;
+    iv.replicates_used = samples.size();
+    if (samples.size() < 10) return iv;  // too few valid replicates
+    RunningStats stats;
+    for (double v : samples) stats.add(v);
+    iv.std_error = stats.stddev();
+    const double tail = (1.0 - confidence) / 2.0;
+    iv.lo = quantile(samples, tail);
+    iv.hi = quantile(std::move(samples), 1.0 - tail);
+    iv.valid = true;
+    return iv;
+}
+
+}  // namespace
+
+BootstrapResult bootstrap_estimates(const std::vector<ExperimentResult>& results,
+                                    const BootstrapConfig& cfg, Rng& rng) {
+    BootstrapResult out;
+    if (results.empty()) return out;
+
+    StateCounts original;
+    for (const auto& r : results) original.add(r);
+    const double point_f = estimate_frequency(original, cfg.estimator).value;
+    const auto point_d = estimate_duration_basic(original, cfg.estimator);
+
+    std::vector<double> freq_samples;
+    std::vector<double> dur_samples;
+    freq_samples.reserve(cfg.replicates);
+    dur_samples.reserve(cfg.replicates);
+
+    const auto n = static_cast<std::int64_t>(results.size());
+    for (std::size_t b = 0; b < cfg.replicates; ++b) {
+        StateCounts counts;
+        for (std::int64_t k = 0; k < n; ++k) {
+            counts.add(results[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+        }
+        const auto f = estimate_frequency(counts, cfg.estimator);
+        if (f.valid()) freq_samples.push_back(f.value);
+        const auto d = estimate_duration_basic(counts, cfg.estimator);
+        if (d.valid) dur_samples.push_back(d.slots);
+    }
+
+    out.frequency = make_interval(point_f, freq_samples, cfg.confidence);
+    out.duration_slots =
+        make_interval(point_d.valid ? point_d.slots : 0.0, dur_samples, cfg.confidence);
+    return out;
+}
+
+}  // namespace bb::core

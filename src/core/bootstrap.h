@@ -1,0 +1,47 @@
+// Bootstrap confidence intervals for the loss estimators — the paper's §8
+// future-work item "estimate the variability of the estimates of congestion
+// frequency and duration themselves directly from the measured data, under a
+// minimal set of statistical assumptions".
+//
+// Experiments are resampled with replacement (they start at independently
+// chosen slots, so an iid bootstrap over experiments is the natural minimal
+// assumption), the estimator is recomputed on each replicate, and percentile
+// intervals are reported.
+#ifndef BB_CORE_BOOTSTRAP_H
+#define BB_CORE_BOOTSTRAP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimators.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace bb::core {
+
+struct BootstrapInterval {
+    double point{0.0};   // estimate on the original sample
+    double lo{0.0};      // lower percentile bound
+    double hi{0.0};      // upper percentile bound
+    double std_error{0.0};
+    std::size_t replicates_used{0};  // replicates with a valid estimate
+    bool valid{false};
+};
+
+struct BootstrapResult {
+    BootstrapInterval frequency;
+    BootstrapInterval duration_slots;  // basic estimator
+};
+
+struct BootstrapConfig {
+    std::size_t replicates{200};
+    double confidence{0.90};  // central interval mass
+    EstimatorOptions estimator{};
+};
+
+[[nodiscard]] BootstrapResult bootstrap_estimates(const std::vector<ExperimentResult>& results,
+                                                  const BootstrapConfig& cfg, Rng& rng);
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_BOOTSTRAP_H

@@ -1,0 +1,46 @@
+#include "core/delay_stats.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace bb::core {
+
+DelaySummary summarize_delays(const std::vector<ProbeOutcome>& probes) {
+    DelaySummary s;
+    bool have_base = false;
+    TimeNs base{TimeNs::zero()};
+    for (const auto& pr : probes) {
+        if (!pr.any_received) continue;
+        if (!have_base || pr.max_owd < base) {
+            base = pr.max_owd;
+            have_base = true;
+        }
+    }
+    if (!have_base) return s;
+    s.base_delay = base;
+
+    std::vector<double> queueing;
+    RunningStats mean_stats;
+    RunningStats lossy_stats;
+    for (const auto& pr : probes) {
+        if (!pr.any_received) continue;
+        const double qd = (pr.max_owd - base).to_seconds();
+        queueing.push_back(qd);
+        mean_stats.add(qd);
+        if (pr.any_lost()) {
+            lossy_stats.add(qd);
+        }
+    }
+    s.samples = queueing.size();
+    s.lossy_samples = lossy_stats.count();
+    s.mean_queueing_s = mean_stats.mean();
+    s.max_queueing_s = mean_stats.max();
+    s.p50_queueing_s = quantile(queueing, 0.50);
+    s.p95_queueing_s = quantile(queueing, 0.95);
+    s.p99_queueing_s = quantile(std::move(queueing), 0.99);
+    s.loss_conditional_queueing_s = lossy_stats.mean();
+    return s;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,37 @@
+// One-way-delay statistics from probe outcomes.
+//
+// BADABING's congestion marking is built on one-way delays (§6.1); the same
+// records support path delay characterization: base (propagation) delay,
+// queueing-delay quantiles, and the delay level conditioned on loss — the
+// quantity the OWD_max tracker estimates.
+#ifndef BB_CORE_DELAY_STATS_H
+#define BB_CORE_DELAY_STATS_H
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/time.h"
+
+namespace bb::core {
+
+struct DelaySummary {
+    TimeNs base_delay{TimeNs::zero()};  // minimum observed OWD
+    double mean_queueing_s{0.0};
+    double p50_queueing_s{0.0};
+    double p95_queueing_s{0.0};
+    double p99_queueing_s{0.0};
+    double max_queueing_s{0.0};
+    // Mean queueing delay of probes that lost at least one packet (empty
+    // path -> 0); this is what the OWD_max estimator converges to.
+    double loss_conditional_queueing_s{0.0};
+    std::size_t samples{0};
+    std::size_t lossy_samples{0};
+
+    [[nodiscard]] bool valid() const noexcept { return samples > 0; }
+};
+
+[[nodiscard]] DelaySummary summarize_delays(const std::vector<ProbeOutcome>& probes);
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_DELAY_STATS_H

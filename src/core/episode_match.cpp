@@ -1,0 +1,75 @@
+#include "core/episode_match.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace bb::core {
+
+EpisodeMatchReport match_episodes(const std::vector<SlotMark>& marks,
+                                  const std::vector<SlotInterval>& truth) {
+    EpisodeMatchReport rep;
+    rep.true_episodes = truth.size();
+
+    // Index marks by slot (they are produced sorted by probe send time, which
+    // is slot order for the BADABING process, but don't rely on it).
+    std::vector<SlotMark> sorted = marks;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SlotMark& a, const SlotMark& b) { return a.slot < b.slot; });
+
+    const auto first_at_or_after = [&sorted](SlotIndex s) {
+        return std::lower_bound(sorted.begin(), sorted.end(), s,
+                                [](const SlotMark& m, SlotIndex v) { return m.slot < v; });
+    };
+
+    double onset_total = 0.0;
+    for (const auto& [lo, hi] : truth) {
+        bool probed = false;
+        bool detected = false;
+        SlotIndex first_congested = -1;
+        for (auto it = first_at_or_after(lo); it != sorted.end() && it->slot <= hi; ++it) {
+            probed = true;
+            if (it->congested) {
+                detected = true;
+                first_congested = it->slot;
+                break;
+            }
+        }
+        if (probed) ++rep.probed_episodes;
+        if (detected) {
+            ++rep.detected_episodes;
+            onset_total += std::abs(static_cast<double>(first_congested - lo));
+        }
+    }
+
+    const auto inside_truth = [&truth](SlotIndex s) {
+        return std::any_of(truth.begin(), truth.end(), [s](const SlotInterval& iv) {
+            return s >= iv.first && s <= iv.second;
+        });
+    };
+    for (const auto& m : sorted) {
+        if (!m.congested) continue;
+        ++rep.marked_slots;
+        if (inside_truth(m.slot)) ++rep.marked_slots_in_episodes;
+    }
+
+    if (rep.true_episodes > 0) {
+        rep.recall = static_cast<double>(rep.detected_episodes) /
+                     static_cast<double>(rep.true_episodes);
+    }
+    if (rep.probed_episodes > 0) {
+        rep.probed_recall = static_cast<double>(rep.detected_episodes) /
+                            static_cast<double>(rep.probed_episodes);
+    }
+    if (rep.marked_slots > 0) {
+        rep.precision = static_cast<double>(rep.marked_slots_in_episodes) /
+                        static_cast<double>(rep.marked_slots);
+    }
+    if (rep.detected_episodes > 0) {
+        rep.mean_onset_error_slots =
+            onset_total / static_cast<double>(rep.detected_episodes);
+    }
+    return rep;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,38 @@
+// Episode-level evaluation of congestion marking: beyond the paper's
+// aggregate frequency/duration comparison, match the marked slots against
+// the true episode intervals and report detection recall, marking precision
+// and onset accuracy.  Useful for diagnosing tau/alpha choices (§6.1/§7).
+#ifndef BB_CORE_EPISODE_MATCH_H
+#define BB_CORE_EPISODE_MATCH_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/marking.h"
+#include "core/types.h"
+
+namespace bb::core {
+
+// Inclusive [first_slot, last_slot] interval of a true episode.
+using SlotInterval = std::pair<SlotIndex, SlotIndex>;
+
+struct EpisodeMatchReport {
+    std::size_t true_episodes{0};
+    std::size_t detected_episodes{0};  // true episodes with >= 1 congested mark
+    std::size_t probed_episodes{0};    // true episodes overlapping >= 1 probed slot
+    double recall{0.0};                // detected / true
+    double probed_recall{0.0};         // detected / probed (tool quality given coverage)
+    std::size_t marked_slots{0};
+    std::size_t marked_slots_in_episodes{0};
+    double precision{0.0};             // in-episode marked slots / marked slots
+    // Mean |first congested mark - episode start| over detected episodes.
+    double mean_onset_error_slots{0.0};
+};
+
+[[nodiscard]] EpisodeMatchReport match_episodes(const std::vector<SlotMark>& marks,
+                                                const std::vector<SlotInterval>& truth);
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_EPISODE_MATCH_H

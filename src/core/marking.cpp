@@ -1,0 +1,79 @@
+#include "core/marking.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::core {
+
+std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& probes) {
+    std::vector<SlotMark> marks;
+    marks.reserve(probes.size());
+    if (probes.empty()) return marks;
+
+    assert(std::is_sorted(probes.begin(), probes.end(),
+                          [](const ProbeOutcome& a, const ProbeOutcome& b) {
+                              return a.send_time < b.send_time;
+                          }));
+
+    // Pass 1: base (propagation) delay and OWD_max estimates.
+    bool have_base = false;
+    TimeNs base{TimeNs::zero()};
+    for (const auto& pr : probes) {
+        if (!pr.any_received) continue;
+        if (!have_base || pr.max_owd < base) {
+            base = pr.max_owd;
+            have_base = true;
+        }
+    }
+    base_delay_ = base;
+
+    std::deque<TimeNs> owd_max_samples;
+    std::vector<TimeNs> loss_times;
+    for (const auto& pr : probes) {
+        if (!pr.any_lost()) continue;
+        loss_times.push_back(pr.send_time);
+        if (pr.any_received) {
+            // Queueing component of the delay of the most recent successfully
+            // transmitted packet -> estimate of the maximum queue depth.
+            owd_max_samples.push_back(pr.max_owd - base);
+            if (owd_max_samples.size() > cfg_.owd_max_window) owd_max_samples.pop_front();
+        }
+    }
+
+    if (owd_max_samples.empty()) {
+        owd_max_ = TimeNs::zero();
+    } else {
+        std::int64_t sum = 0;
+        for (auto v : owd_max_samples) sum += v.ns();
+        owd_max_ = TimeNs{sum / static_cast<std::int64_t>(owd_max_samples.size())};
+    }
+
+    const TimeNs threshold =
+        seconds(owd_max_.to_seconds() * (1.0 - cfg_.alpha));
+
+    // Pass 2: apply the rules.
+    auto near_loss = [&](TimeNs t) {
+        // Any loss indication within tau (either direction)?
+        const auto it = std::lower_bound(loss_times.begin(), loss_times.end(), t - cfg_.tau);
+        return it != loss_times.end() && *it <= t + cfg_.tau;
+    };
+
+    for (const auto& pr : probes) {
+        SlotMark m;
+        m.slot = pr.slot;
+        if (pr.any_lost()) {
+            m.congested = true;
+            m.by_loss = true;
+        } else if (cfg_.use_delay_rule && owd_max_.ns() > 0 && pr.any_received) {
+            const TimeNs qd = pr.max_owd - base;
+            if (qd > threshold && near_loss(pr.send_time)) {
+                m.congested = true;
+                m.by_delay = true;
+            }
+        }
+        marks.push_back(m);
+    }
+    return marks;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,47 @@
+#include "core/markov.h"
+
+namespace bb::core {
+
+PairTally tally_pairs(const ExperimentResult* results, std::size_t count) {
+    PairTally tally;
+    const auto add_pair = [&tally](bool first, bool second) {
+        if (!first && !second) {
+            ++tally.n00;
+        } else if (!first && second) {
+            ++tally.n01;
+        } else if (first && !second) {
+            ++tally.n10;
+        } else {
+            ++tally.n11;
+        }
+    };
+    for (std::size_t k = 0; k < count; ++k) {
+        const ExperimentResult& r = results[k];
+        if (r.kind == ExperimentKind::basic) {
+            add_pair((r.code & 0b10) != 0, (r.code & 0b01) != 0);
+        } else {
+            add_pair((r.code & 0b100) != 0, (r.code & 0b010) != 0);
+            add_pair((r.code & 0b010) != 0, (r.code & 0b001) != 0);
+        }
+    }
+    return tally;
+}
+
+MarkovEstimate estimate_markov(const PairTally& pairs) {
+    MarkovEstimate est;
+    const std::uint64_t from0 = pairs.n00 + pairs.n01;
+    const std::uint64_t from1 = pairs.n10 + pairs.n11;
+    if (from0 == 0 || pairs.n01 + pairs.n10 == 0 || pairs.n10 == 0) {
+        // No congestion seen, or congestion never observed ending: the chain
+        // parameters are unidentifiable.
+        return est;
+    }
+    est.a = static_cast<double>(pairs.n01) / static_cast<double>(from0);
+    est.b = static_cast<double>(pairs.n10) / static_cast<double>(from1);
+    est.frequency = est.a / (est.a + est.b);
+    est.duration_slots = 1.0 / est.b;
+    est.valid = true;
+    return est;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,73 @@
+// Parametric (Markov-chain) estimator — the "alternative, parametric
+// methods for inferring loss characteristics from our probe process" the
+// paper lists as future work (§8).
+//
+// Model: the slot congestion indicator is a stationary two-state Markov
+// chain with transition probabilities
+//     a = P(congested at i+1 | clear at i),
+//     b = P(clear at i+1     | congested at i).
+// Then the congested-slot frequency is F = a/(a+b) and episode lengths are
+// geometric with mean D = 1/b slots.
+//
+// Every adjacent slot pair observed by an experiment (one pair per basic
+// experiment, two per extended experiment) is a draw of the chain's
+// transition, so the maximum-likelihood estimates are
+//     a_hat = n01 / (n00 + n01),   b_hat = n10 / (n10 + n11),
+// where n_xy counts observed (slot i = x, slot i+1 = y) pairs.  Unlike the
+// moment estimator of §5.2.2 this uses all pair information (including the
+// interior pairs of extended experiments) and returns frequency and duration
+// from the same two parameters; like the basic estimator it assumes faithful
+// reports (p1 = p2 = 1), and inherits their bias otherwise.
+#ifndef BB_CORE_MARKOV_H
+#define BB_CORE_MARKOV_H
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "util/time.h"
+
+namespace bb::core {
+
+// Adjacent-pair counts n_xy; the sufficient statistic for the chain.
+struct PairTally {
+    std::uint64_t n00{0};
+    std::uint64_t n01{0};
+    std::uint64_t n10{0};
+    std::uint64_t n11{0};
+
+    [[nodiscard]] std::uint64_t total() const noexcept { return n00 + n01 + n10 + n11; }
+
+    PairTally& operator+=(const PairTally& rhs) noexcept {
+        n00 += rhs.n00;
+        n01 += rhs.n01;
+        n10 += rhs.n10;
+        n11 += rhs.n11;
+        return *this;
+    }
+};
+
+// Extract all adjacent pairs from experiment reports.
+[[nodiscard]] PairTally tally_pairs(const ExperimentResult* results, std::size_t count);
+
+template <typename Container>
+[[nodiscard]] PairTally tally_pairs(const Container& results) {
+    return tally_pairs(results.data(), results.size());
+}
+
+struct MarkovEstimate {
+    double a{0.0};  // P(0 -> 1)
+    double b{0.0};  // P(1 -> 0)
+    double frequency{0.0};       // a / (a + b)
+    double duration_slots{0.0};  // 1 / b
+    bool valid{false};
+
+    [[nodiscard]] double duration_seconds(TimeNs slot_width) const noexcept {
+        return duration_slots * slot_width.to_seconds();
+    }
+};
+
+[[nodiscard]] MarkovEstimate estimate_markov(const PairTally& pairs);
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_MARKOV_H

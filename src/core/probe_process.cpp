@@ -1,0 +1,41 @@
+#include "core/probe_process.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bb::core {
+
+ProbeDesign design_probe_process(Rng& rng, SlotIndex total_slots,
+                                 const ProbeProcessConfig& cfg) {
+    if (cfg.p <= 0.0 || cfg.p > 1.0) {
+        throw std::invalid_argument{"probe process: p must be in (0, 1]"};
+    }
+    if (cfg.extended_fraction < 0.0 || cfg.extended_fraction > 1.0) {
+        throw std::invalid_argument{"probe process: extended_fraction must be in [0, 1]"};
+    }
+
+    ProbeDesign design;
+    for (SlotIndex i = 0; i < total_slots; ++i) {
+        if (!rng.bernoulli(cfg.p)) continue;
+        const bool extended = cfg.improved && rng.bernoulli(cfg.extended_fraction);
+        const Experiment e{i, extended ? ExperimentKind::extended : ExperimentKind::basic};
+        // Keep every experiment fully inside the measurement window.
+        if (i + e.probes() > total_slots) continue;
+        design.experiments.push_back(e);
+        for (int k = 0; k < e.probes(); ++k) design.probe_slots.push_back(i + k);
+    }
+    std::sort(design.probe_slots.begin(), design.probe_slots.end());
+    design.probe_slots.erase(
+        std::unique(design.probe_slots.begin(), design.probe_slots.end()),
+        design.probe_slots.end());
+    return design;
+}
+
+double expected_probe_slot_fraction(const ProbeProcessConfig& cfg) noexcept {
+    const double mean_probes =
+        cfg.improved ? (2.0 * (1.0 - cfg.extended_fraction) + 3.0 * cfg.extended_fraction)
+                     : 2.0;
+    return cfg.p * mean_probes;
+}
+
+}  // namespace bb::core

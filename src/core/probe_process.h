@@ -1,0 +1,58 @@
+// The geometric probe process of paper §5.2/§5.3: at each slot, start an
+// experiment independently with probability p.  Under the improved design
+// each started experiment is, with probability 1/2, an extended (3-probe)
+// experiment instead of a basic (2-probe) one.  A weighting knob exposes the
+// §5.5 "unequal weighing" modification.
+#ifndef BB_CORE_PROBE_PROCESS_H
+#define BB_CORE_PROBE_PROCESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace bb::core {
+
+struct ProbeDesign {
+    std::vector<Experiment> experiments;   // ordered by start slot
+    std::vector<SlotIndex> probe_slots;    // sorted, unique slots that need a probe
+};
+
+struct ProbeProcessConfig {
+    double p{0.3};              // experiment start probability per slot
+    bool improved{false};       // mix in extended experiments
+    double extended_fraction{0.5};  // P(extended | experiment started)
+};
+
+// Draw a full design for `total_slots` slots.
+[[nodiscard]] ProbeDesign design_probe_process(Rng& rng, SlotIndex total_slots,
+                                               const ProbeProcessConfig& cfg);
+
+// Expected probing load: probes per slot (before slot-sharing between
+// overlapping experiments, which only reduces it).
+[[nodiscard]] double expected_probe_slot_fraction(const ProbeProcessConfig& cfg) noexcept;
+
+// Turn a design plus a per-slot congestion marking into experiment reports.
+// `congested(slot)` must return the mark for every slot in probe_slots.
+template <typename MarkFn>
+[[nodiscard]] std::vector<ExperimentResult> score_experiments(
+    const std::vector<Experiment>& experiments, MarkFn&& congested) {
+    std::vector<ExperimentResult> out;
+    out.reserve(experiments.size());
+    for (const auto& e : experiments) {
+        if (e.kind == ExperimentKind::basic) {
+            out.push_back({ExperimentKind::basic,
+                           basic_code(congested(e.start_slot), congested(e.start_slot + 1))});
+        } else {
+            out.push_back({ExperimentKind::extended,
+                           extended_code(congested(e.start_slot), congested(e.start_slot + 1),
+                                         congested(e.start_slot + 2))});
+        }
+    }
+    return out;
+}
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_PROBE_PROCESS_H

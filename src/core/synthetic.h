@@ -1,0 +1,46 @@
+// Synthetic congestion processes and the paper's report-fidelity model
+// (§5.2.1): given the true state string Y_i of an experiment, the report y_i
+// equals Y_i with probability p_k (k = number of congested slots in Y_i) and
+// otherwise collapses to all-zeros.  Used to verify the consistency claims of
+// §5.2.2/§5.3 independently of any network simulation.
+#ifndef BB_CORE_SYNTHETIC_H
+#define BB_CORE_SYNTHETIC_H
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace bb::core {
+
+// Alternating renewal on/off process in discrete slots with geometric
+// sojourn times: mean episode length `mean_on_slots`, mean gap
+// `mean_off_slots`.  True frequency is on/(on+off); true mean duration is
+// `mean_on_slots`.
+[[nodiscard]] std::vector<bool> synth_congestion_series(Rng& rng, SlotIndex total_slots,
+                                                        double mean_on_slots,
+                                                        double mean_off_slots);
+
+// Exact frequency / mean-duration of a slot series (oracle bookkeeping).
+struct SeriesTruth {
+    double frequency{0.0};
+    double mean_duration_slots{0.0};
+    std::size_t episodes{0};
+};
+[[nodiscard]] SeriesTruth series_truth(const std::vector<bool>& series);
+
+// Apply the fidelity model to a set of experiments against the true series.
+struct FidelityModel {
+    double p1{1.0};  // P(report correct | one congested slot in Y)
+    double p2{1.0};  // P(report correct | two congested slots in Y)
+    // Y with three congested slots (111) uses p2 as well; the paper leaves
+    // that failure rate unknown and never uses 111 reports in estimation.
+};
+
+[[nodiscard]] std::vector<ExperimentResult> observe_with_fidelity(
+    const std::vector<Experiment>& experiments, const std::vector<bool>& truth,
+    const FidelityModel& fidelity, Rng& rng);
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_SYNTHETIC_H

@@ -1,0 +1,113 @@
+// Core data model for the BADABING probe process (paper §5).
+//
+// Time is discretized into slots of fixed width.  A *basic experiment*
+// starting at slot i probes slots {i, i+1} and yields a 2-digit report
+// y_i in {00, 01, 10, 11}; an *extended experiment* (improved algorithm)
+// probes {i, i+1, i+2} and yields a 3-digit report.  Digits read left to
+// right in slot order, exactly like the paper ("y_i = 10 means the first
+// probe observed congestion while the second one did not").
+#ifndef BB_CORE_TYPES_H
+#define BB_CORE_TYPES_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace bb::core {
+
+using SlotIndex = std::int64_t;
+
+enum class ExperimentKind : std::uint8_t { basic, extended };
+
+struct Experiment {
+    SlotIndex start_slot{0};
+    ExperimentKind kind{ExperimentKind::basic};
+
+    [[nodiscard]] int probes() const noexcept {
+        return kind == ExperimentKind::basic ? 2 : 3;
+    }
+};
+
+// Report of one experiment.  `code` packs the digits most-significant-first:
+// a basic report 01 has code 0b01 == 1; an extended report 110 has
+// code 0b110 == 6.
+struct ExperimentResult {
+    ExperimentKind kind{ExperimentKind::basic};
+    std::uint8_t code{0};
+};
+
+[[nodiscard]] constexpr std::uint8_t basic_code(bool first, bool second) noexcept {
+    return static_cast<std::uint8_t>((first ? 2 : 0) | (second ? 1 : 0));
+}
+[[nodiscard]] constexpr std::uint8_t extended_code(bool a, bool b, bool c) noexcept {
+    return static_cast<std::uint8_t>((a ? 4 : 0) | (b ? 2 : 0) | (c ? 1 : 0));
+}
+
+// Tallies of experiment reports, sufficient statistics for both estimators
+// and the validation tests.
+struct StateCounts {
+    std::array<std::uint64_t, 4> basic{};     // indexed by 2-bit code
+    std::array<std::uint64_t, 8> extended{};  // indexed by 3-bit code
+
+    void add(const ExperimentResult& r) noexcept {
+        if (r.kind == ExperimentKind::basic) {
+            ++basic[r.code & 0x3];
+        } else {
+            ++extended[r.code & 0x7];
+        }
+    }
+
+    [[nodiscard]] std::uint64_t basic_total() const noexcept {
+        return basic[0] + basic[1] + basic[2] + basic[3];
+    }
+    [[nodiscard]] std::uint64_t extended_total() const noexcept {
+        std::uint64_t t = 0;
+        for (auto v : extended) t += v;
+        return t;
+    }
+
+    // Paper quantities.
+    [[nodiscard]] std::uint64_t R() const noexcept {
+        return basic[0b01] + basic[0b10] + basic[0b11];
+    }
+    [[nodiscard]] std::uint64_t S() const noexcept { return basic[0b01] + basic[0b10]; }
+    [[nodiscard]] std::uint64_t U() const noexcept {
+        return extended[0b011] + extended[0b110];
+    }
+    [[nodiscard]] std::uint64_t V() const noexcept {
+        return extended[0b001] + extended[0b100];
+    }
+
+    StateCounts& operator+=(const StateCounts& rhs) noexcept {
+        for (std::size_t i = 0; i < basic.size(); ++i) basic[i] += rhs.basic[i];
+        for (std::size_t i = 0; i < extended.size(); ++i) extended[i] += rhs.extended[i];
+        return *this;
+    }
+};
+
+// One probe's observable outcome at the receiver, the input to congestion
+// marking (paper §6.1).  One-way delays are reported as *queueing* delay:
+// raw OWD minus the path's base (minimum observed) delay; the marker also
+// accepts raw OWDs and subtracts the running minimum itself.
+struct ProbeOutcome {
+    SlotIndex slot{0};
+    TimeNs send_time{TimeNs::zero()};
+    int packets_sent{0};
+    int packets_lost{0};
+    // Largest one-way delay among the probe's received packets.  Following
+    // the paper, when a probe loses packets the delay of the most recent
+    // successfully transmitted packet estimates the maximum queue depth.
+    TimeNs max_owd{TimeNs::zero()};
+    bool any_received{false};
+
+    [[nodiscard]] bool any_lost() const noexcept { return packets_lost > 0; }
+    [[nodiscard]] bool all_lost() const noexcept {
+        return packets_sent > 0 && packets_lost == packets_sent;
+    }
+};
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_TYPES_H

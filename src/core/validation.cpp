@@ -1,0 +1,59 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::core {
+
+namespace {
+double asymmetry(std::uint64_t a, std::uint64_t b) noexcept {
+    const double total = static_cast<double>(a) + static_cast<double>(b);
+    if (total <= 0) return 0.0;
+    return std::abs(static_cast<double>(a) - static_cast<double>(b)) / total;
+}
+}  // namespace
+
+ValidationReport validate(const StateCounts& counts) {
+    ValidationReport rep;
+
+    const std::uint64_t c01 = counts.basic[0b01];
+    const std::uint64_t c10 = counts.basic[0b10];
+    rep.transitions = c01 + c10;
+    rep.pair_asymmetry = asymmetry(c01, c10);
+
+    const std::uint64_t mb = counts.basic_total();
+    const std::uint64_t me = counts.extended_total();
+    if (me > 0) {
+        // Rates of the four "single congested slot at an edge" states.  For
+        // basic experiments the per-experiment rate of 01 (resp. 10) should
+        // match the per-experiment rate of 001 (resp. 100) among extended
+        // ones, all estimating p1 * B / N.
+        const double rates[4] = {
+            mb > 0 ? static_cast<double>(c01) / static_cast<double>(mb) : 0.0,
+            mb > 0 ? static_cast<double>(c10) / static_cast<double>(mb) : 0.0,
+            static_cast<double>(counts.extended[0b001]) / static_cast<double>(me),
+            static_cast<double>(counts.extended[0b100]) / static_cast<double>(me),
+        };
+        const auto [lo, hi] = std::minmax_element(std::begin(rates), std::end(rates));
+        const double mean = (rates[0] + rates[1] + rates[2] + rates[3]) / 4.0;
+        rep.single_rate_spread = mean > 0 ? (*hi - *lo) / mean : 0.0;
+
+        rep.ext_pair_asymmetry = asymmetry(counts.extended[0b011], counts.extended[0b110]);
+        rep.violations = counts.extended[0b010] + counts.extended[0b101];
+        rep.violation_fraction =
+            static_cast<double>(rep.violations) / static_cast<double>(me);
+    }
+    return rep;
+}
+
+StoppingRule::Decision StoppingRule::evaluate(const StateCounts& counts) const {
+    const ValidationReport rep = validate(counts);
+    if (rep.transitions < cfg_.min_transitions) return Decision::keep_going;
+    if (rep.violation_fraction > cfg_.violation_tolerance) return Decision::stop_invalid;
+    if (rep.pair_asymmetry <= cfg_.tolerance && rep.ext_pair_asymmetry <= cfg_.tolerance) {
+        return Decision::stop_valid;
+    }
+    return Decision::keep_going;
+}
+
+}  // namespace bb::core

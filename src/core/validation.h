@@ -1,0 +1,62 @@
+// Validation tests for the probe-process assumptions (paper §5.4) and the
+// adaptive stopping rule sketched in §5.1/§7.
+//
+// Basic design:    P(y = 01) should equal P(y = 10); a persistent imbalance
+//                  invalidates the estimates.
+// Improved design: the rates of {01, 10, 001, 100} should agree; the rates
+//                  of {011, 110} should agree; every 010 or 101 report is a
+//                  violation of the fidelity model (failures must report 00).
+#ifndef BB_CORE_VALIDATION_H
+#define BB_CORE_VALIDATION_H
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace bb::core {
+
+struct ValidationReport {
+    // |#01 - #10| / (#01 + #10); 0 when no transitions were seen.
+    double pair_asymmetry{0.0};
+    std::uint64_t transitions{0};  // #01 + #10
+
+    // Improved design only.
+    double single_rate_spread{0.0};  // relative spread among {01,10,001,100} rates
+    double ext_pair_asymmetry{0.0};  // |#011 - #110| / (#011 + #110)
+    std::uint64_t violations{0};     // #010 + #101
+    double violation_fraction{0.0};  // violations / extended experiments
+
+    [[nodiscard]] bool acceptable(double tolerance = 0.25,
+                                  double violation_tolerance = 0.05) const noexcept {
+        return pair_asymmetry <= tolerance && ext_pair_asymmetry <= tolerance &&
+               violation_fraction <= violation_tolerance;
+    }
+};
+
+[[nodiscard]] ValidationReport validate(const StateCounts& counts);
+
+// Open-ended stopping rule: stop once enough transitions have been observed
+// and the symmetry checks have converged below the tolerance; give up (and
+// flag invalid) if violations keep accumulating.
+class StoppingRule {
+public:
+    struct Config {
+        std::uint64_t min_transitions{50};
+        double tolerance{0.2};
+        double violation_tolerance{0.05};
+    };
+
+    explicit StoppingRule(Config cfg) : cfg_{cfg} {}
+    StoppingRule() : StoppingRule(Config{}) {}
+
+    enum class Decision { keep_going, stop_valid, stop_invalid };
+
+    [[nodiscard]] Decision evaluate(const StateCounts& counts) const;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_VALIDATION_H

@@ -1,0 +1,46 @@
+// Time-resolved estimates: split the experiment stream into fixed windows of
+// slots and estimate per window.  The paper's guidance (§7) assumes the
+// loss-event rate L is stationary over the measurement; windowed estimates
+// make that assumption checkable (cf. the "constancy" analysis of Zhang et
+// al. that the paper builds on), and a simple two-halves comparison flags
+// gross non-stationarity.
+#ifndef BB_CORE_WINDOWED_H
+#define BB_CORE_WINDOWED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimators.h"
+#include "core/types.h"
+
+namespace bb::core {
+
+struct WindowEstimate {
+    SlotIndex window_start{0};
+    SlotIndex window_slots{0};
+    FrequencyEstimate frequency;
+    DurationEstimate duration;
+    std::uint64_t experiments{0};
+};
+
+// `experiments` and `results` must be parallel arrays ordered by start slot
+// (the natural output order of the probe process and score_experiments).
+[[nodiscard]] std::vector<WindowEstimate> windowed_estimates(
+    const std::vector<Experiment>& experiments, const std::vector<ExperimentResult>& results,
+    SlotIndex window_slots, const EstimatorOptions& opts = {});
+
+struct StationarityReport {
+    double first_half_frequency{0.0};
+    double second_half_frequency{0.0};
+    // |F1 - F2| / max(F1, F2); 0 when either half saw nothing.
+    double frequency_shift{0.0};
+    bool looks_stationary{true};  // shift below the tolerance
+};
+
+[[nodiscard]] StationarityReport check_stationarity(
+    const std::vector<Experiment>& experiments, const std::vector<ExperimentResult>& results,
+    SlotIndex total_slots, double tolerance = 0.5, const EstimatorOptions& opts = {});
+
+}  // namespace bb::core
+
+#endif  // BB_CORE_WINDOWED_H

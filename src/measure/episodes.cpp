@@ -1,0 +1,131 @@
+#include "measure/episodes.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/stats.h"
+
+namespace bb::measure {
+
+std::vector<LossEpisode> extract_episodes(const std::vector<TimeNs>& drop_times, TimeNs gap) {
+    std::vector<LossEpisode> out;
+    if (drop_times.empty()) return out;
+    assert(std::is_sorted(drop_times.begin(), drop_times.end()));
+
+    LossEpisode cur{drop_times.front(), drop_times.front(), 1};
+    for (std::size_t i = 1; i < drop_times.size(); ++i) {
+        const TimeNs t = drop_times[i];
+        if (t - cur.end <= gap) {
+            cur.end = t;
+            ++cur.drops;
+        } else {
+            out.push_back(cur);
+            cur = LossEpisode{t, t, 1};
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::vector<LossEpisode> extract_episodes_delay_based(
+    const std::vector<TimeNs>& drop_times, const std::vector<DelayedDeparture>& departures,
+    TimeNs delay_floor, TimeNs gap) {
+    // First cluster by gap as usual, then trim/merge based on whether the
+    // departures between consecutive drops kept the queue near-full.  Two
+    // adjacent clusters are merged when every departure between them stayed
+    // above the delay floor (the queue never really drained).
+    std::vector<LossEpisode> clusters = extract_episodes(drop_times, gap);
+    if (clusters.size() < 2) return clusters;
+
+    assert(std::is_sorted(departures.begin(), departures.end(),
+                          [](const DelayedDeparture& a, const DelayedDeparture& b) {
+                              return a.at < b.at;
+                          }));
+
+    const auto queue_stayed_full = [&](TimeNs from, TimeNs to) {
+        auto it = std::lower_bound(departures.begin(), departures.end(), from,
+                                   [](const DelayedDeparture& d, TimeNs t) { return d.at < t; });
+        bool saw_any = false;
+        for (; it != departures.end() && it->at <= to; ++it) {
+            saw_any = true;
+            if (it->queueing_delay < delay_floor) return false;
+        }
+        return saw_any;
+    };
+
+    std::vector<LossEpisode> merged;
+    merged.push_back(clusters.front());
+    for (std::size_t i = 1; i < clusters.size(); ++i) {
+        LossEpisode& prev = merged.back();
+        const LossEpisode& next = clusters[i];
+        if (queue_stayed_full(prev.end, next.start)) {
+            prev.end = next.end;
+            prev.drops += next.drops;
+        } else {
+            merged.push_back(next);
+        }
+    }
+    return merged;
+}
+
+TruthSummary summarize_truth(const std::vector<LossEpisode>& episodes, TimeNs slot_width,
+                             TimeNs window_begin, TimeNs window_end) {
+    TruthSummary s;
+    if (window_end <= window_begin || slot_width.ns() <= 0) return s;
+    const std::int64_t total_slots = (window_end - window_begin) / slot_width;
+    if (total_slots <= 0) return s;
+
+    std::int64_t congested_slots = 0;
+    RunningStats durations;
+    for (const auto& e : episodes) {
+        if (e.end < window_begin || e.start >= window_end) continue;
+        const TimeNs lo = std::max(e.start, window_begin);
+        const TimeNs hi = std::min(e.end, window_end);
+        const std::int64_t first = (lo - window_begin) / slot_width;
+        // The window is half-open: an episode touching window_end exactly
+        // must not index one past the last slot.
+        const std::int64_t last =
+            std::min((hi - window_begin) / slot_width, total_slots - 1);
+        congested_slots += (last - first + 1);
+        durations.add(e.duration().to_seconds());
+        ++s.episodes;
+        s.total_drops += e.drops;
+    }
+    congested_slots = std::min(congested_slots, total_slots);
+    s.frequency = static_cast<double>(congested_slots) / static_cast<double>(total_slots);
+    s.mean_duration_s = durations.mean();
+    s.sd_duration_s = durations.stddev();
+    return s;
+}
+
+std::vector<bool> congestion_slots(const std::vector<LossEpisode>& episodes, TimeNs slot_width,
+                                   TimeNs window_begin, TimeNs window_end) {
+    const std::int64_t total_slots =
+        slot_width.ns() > 0 ? (window_end - window_begin) / slot_width : 0;
+    std::vector<bool> slots(static_cast<std::size_t>(std::max<std::int64_t>(total_slots, 0)),
+                            false);
+    for (const auto& e : episodes) {
+        if (e.end < window_begin || e.start >= window_end) continue;
+        const TimeNs lo = std::max(e.start, window_begin);
+        const TimeNs hi = std::min(e.end, window_end);
+        const auto first = static_cast<std::size_t>((lo - window_begin) / slot_width);
+        auto last = static_cast<std::size_t>((hi - window_begin) / slot_width);
+        last = std::min(last, slots.empty() ? 0 : slots.size() - 1);
+        for (std::size_t i = first; i <= last && i < slots.size(); ++i) slots[i] = true;
+    }
+    return slots;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> episode_slot_intervals(
+    const std::vector<LossEpisode>& episodes, TimeNs slot_width, TimeNs window_begin) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    out.reserve(episodes.size());
+    for (const auto& e : episodes) {
+        if (e.end < window_begin) continue;
+        const TimeNs lo = std::max(e.start, window_begin);
+        out.emplace_back((lo - window_begin) / slot_width, (e.end - window_begin) / slot_width);
+    }
+    return out;
+}
+
+}  // namespace bb::measure

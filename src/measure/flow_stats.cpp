@@ -1,0 +1,48 @@
+#include "measure/flow_stats.h"
+
+#include <algorithm>
+
+namespace bb::measure {
+
+FlowStats::FlowStats(sim::QueueBase& queue, bool record_events)
+    : record_events_{record_events} {
+    queue.on_enqueue([this](const sim::QueueEvent& ev) { ++flows_[ev.pkt.flow].arrivals; });
+    queue.on_drop([this](const sim::QueueEvent& ev) {
+        PerFlow& f = flows_[ev.pkt.flow];
+        ++f.arrivals;
+        ++f.drops;
+        ++total_drops_;
+        if (record_events_) drop_events_.push_back({ev.at, ev.pkt.flow});
+    });
+    queue.on_dequeue([this](const sim::QueueEvent& ev) {
+        PerFlow& f = flows_[ev.pkt.flow];
+        ++f.departures;
+        f.bytes_delivered += ev.pkt.size_bytes;
+        ++total_departures_;
+        if (record_events_) departure_events_.push_back({ev.at, ev.pkt.flow});
+    });
+}
+
+double FlowStats::router_loss_rate() const noexcept {
+    const auto total = static_cast<double>(total_drops_ + total_departures_);
+    return total > 0 ? static_cast<double>(total_drops_) / total : 0.0;
+}
+
+std::unordered_set<sim::FlowId> FlowStats::flows_in(const std::vector<Event>& events,
+                                                    TimeNs t0, TimeNs t1) {
+    std::unordered_set<sim::FlowId> out;
+    const auto lo = std::lower_bound(events.begin(), events.end(), t0,
+                                     [](const Event& e, TimeNs t) { return e.at < t; });
+    for (auto it = lo; it != events.end() && it->at <= t1; ++it) out.insert(it->flow);
+    return out;
+}
+
+std::unordered_set<sim::FlowId> FlowStats::flows_active_in(TimeNs t0, TimeNs t1) const {
+    return flows_in(departure_events_, t0, t1);
+}
+
+std::unordered_set<sim::FlowId> FlowStats::flows_dropped_in(TimeNs t0, TimeNs t1) const {
+    return flows_in(drop_events_, t0, t1);
+}
+
+}  // namespace bb::measure

@@ -1,0 +1,71 @@
+// Per-flow accounting at the bottleneck: the paper's §3 distinction between
+// the router-centric loss rate L/(S+L) and each flow's end-to-end loss rate,
+// and its key observation that during a loss episode "there may be flows
+// that do not lose any packets".
+#ifndef BB_MEASURE_FLOW_STATS_H
+#define BB_MEASURE_FLOW_STATS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/queue_base.h"
+#include "util/time.h"
+
+namespace bb::measure {
+
+class FlowStats {
+public:
+    struct PerFlow {
+        std::uint64_t arrivals{0};
+        std::uint64_t drops{0};
+        std::uint64_t departures{0};
+        std::int64_t bytes_delivered{0};
+
+        // End-to-end loss rate as defined in §3: packets of this flow lost
+        // over packets of this flow offered at the congested link.
+        [[nodiscard]] double loss_rate() const noexcept {
+            const auto total = static_cast<double>(drops + departures);
+            return total > 0 ? static_cast<double>(drops) / total : 0.0;
+        }
+    };
+
+    // `record_events` additionally keeps time-stamped per-flow drop and
+    // departure logs, enabling per-episode queries (costs memory).
+    explicit FlowStats(sim::QueueBase& queue, bool record_events = false);
+
+    FlowStats(const FlowStats&) = delete;
+    FlowStats& operator=(const FlowStats&) = delete;
+
+    [[nodiscard]] const std::unordered_map<sim::FlowId, PerFlow>& flows() const noexcept {
+        return flows_;
+    }
+    [[nodiscard]] double router_loss_rate() const noexcept;
+
+    // Flows with at least one departure (resp. drop) in [t0, t1].  Requires
+    // record_events.
+    [[nodiscard]] std::unordered_set<sim::FlowId> flows_active_in(TimeNs t0, TimeNs t1) const;
+    [[nodiscard]] std::unordered_set<sim::FlowId> flows_dropped_in(TimeNs t0, TimeNs t1) const;
+
+    [[nodiscard]] bool records_events() const noexcept { return record_events_; }
+
+private:
+    struct Event {
+        TimeNs at;
+        sim::FlowId flow;
+    };
+    [[nodiscard]] static std::unordered_set<sim::FlowId> flows_in(
+        const std::vector<Event>& events, TimeNs t0, TimeNs t1);
+
+    bool record_events_;
+    std::unordered_map<sim::FlowId, PerFlow> flows_;
+    std::vector<Event> drop_events_;
+    std::vector<Event> departure_events_;
+    std::uint64_t total_drops_{0};
+    std::uint64_t total_departures_{0};
+};
+
+}  // namespace bb::measure
+
+#endif  // BB_MEASURE_FLOW_STATS_H

@@ -1,0 +1,50 @@
+#include "measure/loss_monitor.h"
+
+namespace bb::measure {
+
+LossMonitor::LossMonitor(sim::Scheduler& sched, sim::QueueBase& queue, Options opts)
+    : queue_{&queue}, opts_{opts} {
+    (void)sched;
+    queue.on_drop([this](const sim::QueueEvent& ev) {
+        const bool is_probe = ev.pkt.kind == sim::PacketKind::probe;
+        if (is_probe) {
+            ++probe_drops_;
+        } else {
+            ++cross_drops_;
+        }
+        if (is_probe && !opts_.count_probe_traffic) return;
+        drops_.push_back(ev.at);
+    });
+    queue.on_enqueue([this](const sim::QueueEvent& ev) {
+        if (opts_.record_departures) enqueue_time_[ev.pkt.id] = ev.at;
+    });
+    queue.on_dequeue([this](const sim::QueueEvent& ev) {
+        ++successes_;
+        if (!opts_.record_departures) return;
+        if (auto it = enqueue_time_.find(ev.pkt.id); it != enqueue_time_.end()) {
+            departures_.push_back(DelayedDeparture{ev.at, ev.at - it->second});
+            enqueue_time_.erase(it);
+        }
+    });
+}
+
+double LossMonitor::router_loss_rate() const noexcept {
+    const auto lost = static_cast<double>(drops_.size());
+    const auto total = lost + static_cast<double>(successes_);
+    return total > 0 ? lost / total : 0.0;
+}
+
+QueueSampler::QueueSampler(sim::Scheduler& sched, const sim::QueueBase& queue,
+                           TimeNs interval, TimeNs until)
+    : sched_{&sched}, queue_{&queue}, interval_{interval}, until_{until} {
+    sched_->schedule_after(interval_, [this] { sample(); });
+}
+
+void QueueSampler::sample() {
+    series_.add(sched_->now().to_seconds(), queue_->queueing_delay().to_seconds());
+    if (sched_->now() + interval_ <= until_) {
+        sched_->schedule_after(interval_, [this] { sample(); });
+    }
+}
+
+}  // namespace bb::measure

@@ -1,0 +1,190 @@
+#include "probes/badabing.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace bb::probes {
+
+namespace {
+std::uint64_t fresh_id_block() {
+    static std::atomic<std::uint64_t> next_block{0xE000};
+    return next_block.fetch_add(1) << 32;
+}
+}  // namespace
+
+BadabingTool::BadabingTool(sim::Scheduler& sched, const BadabingConfig& cfg,
+                           sim::PacketSink& out, Rng rng)
+    : sched_{&sched}, cfg_{cfg}, out_{&out}, next_id_{fresh_id_block()} {
+    core::ProbeProcessConfig pcfg;
+    pcfg.p = cfg_.p;
+    pcfg.improved = cfg_.improved;
+    pcfg.extended_fraction = cfg_.extended_fraction;
+    design_ = core::design_probe_process(rng, cfg_.total_slots, pcfg);
+
+    for (const core::SlotIndex slot : design_.probe_slots) {
+        const TimeNs at = cfg_.start + cfg_.slot_width * slot;
+        sched_->schedule_at(at, [this, slot] { emit_probe(slot); });
+    }
+}
+
+void BadabingTool::emit_probe(core::SlotIndex slot) {
+    ++probes_sent_;
+    for (int k = 0; k < cfg_.packets_per_probe; ++k) {
+        sim::Packet pkt;
+        pkt.id = ++next_id_;
+        pkt.flow = cfg_.flow;
+        pkt.kind = sim::PacketKind::probe;
+        pkt.size_bytes = cfg_.packet_bytes;
+        pkt.seq = slot;
+        pkt.probe_pkt = k;
+        pkt.sent_at = sched_->now();
+        ++packets_sent_;
+        bytes_sent_ += cfg_.packet_bytes;
+        // Back-to-back emission: successive packets leave `intra_probe_gap`
+        // apart, per the capabilities of the paper's hosts (~30 us).
+        if (k == 0) {
+            out_->accept(pkt);
+        } else {
+            sched_->schedule_after(cfg_.intra_probe_gap * k,
+                                   [this, pkt]() mutable {
+                                       pkt.sent_at = sched_->now();
+                                       out_->accept(pkt);
+                                   });
+        }
+    }
+}
+
+void BadabingTool::accept(const sim::Packet& pkt) {
+    if (pkt.kind != sim::PacketKind::probe || pkt.flow != cfg_.flow) return;
+    SlotRecord& rec = records_[pkt.seq];
+    ++rec.received;
+    const TimeNs skew =
+        seconds(sched_->now().to_seconds() * cfg_.receiver_clock_skew_ppm * 1e-6);
+    const TimeNs owd = sched_->now() + cfg_.receiver_clock_offset + skew - pkt.sent_at;
+    rec.max_owd = std::max(rec.max_owd, owd);
+}
+
+std::vector<core::ProbeOutcome> BadabingTool::outcomes() const {
+    std::vector<core::ProbeOutcome> out;
+    out.reserve(design_.probe_slots.size());
+    for (const core::SlotIndex slot : design_.probe_slots) {
+        core::ProbeOutcome po;
+        po.slot = slot;
+        po.send_time = cfg_.start + cfg_.slot_width * slot;
+        po.packets_sent = cfg_.packets_per_probe;
+        if (auto it = records_.find(slot); it != records_.end()) {
+            po.packets_lost = cfg_.packets_per_probe - it->second.received;
+            po.max_owd = it->second.max_owd;
+            po.any_received = it->second.received > 0;
+        } else {
+            po.packets_lost = cfg_.packets_per_probe;
+            po.any_received = false;
+        }
+        out.push_back(po);
+    }
+    return out;
+}
+
+BadabingResult BadabingTool::analyze(const core::MarkingConfig& marking,
+                                     core::EstimatorOptions opts) const {
+    BadabingResult res;
+    const std::vector<core::ProbeOutcome> probe_outcomes = outcomes();
+
+    core::CongestionMarker marker{marking};
+    const std::vector<core::SlotMark> marks = marker.mark(probe_outcomes);
+
+    std::unordered_map<core::SlotIndex, bool> congested;
+    congested.reserve(marks.size());
+    for (const auto& m : marks) congested[m.slot] = m.congested;
+
+    const auto results = core::score_experiments(
+        design_.experiments,
+        [&congested](core::SlotIndex s) {
+            const auto it = congested.find(s);
+            return it != congested.end() && it->second;
+        });
+
+    for (const auto& r : results) res.counts.add(r);
+    res.frequency = core::estimate_frequency(res.counts, opts);
+    res.duration_basic = core::estimate_duration_basic(res.counts, opts);
+    res.duration_improved = core::estimate_duration_improved(res.counts, opts);
+    res.validation = core::validate(res.counts);
+
+    res.probes_sent = probes_sent_;
+    res.packets_sent = packets_sent_;
+    res.bytes_sent = bytes_sent_;
+    res.experiments = design_.experiments.size();
+    for (const auto& po : probe_outcomes) {
+        res.packets_lost += static_cast<std::uint64_t>(po.packets_lost);
+    }
+    return res;
+}
+
+double BadabingTool::offered_load_fraction(std::int64_t link_rate_bps) const noexcept {
+    const TimeNs span = cfg_.slot_width * cfg_.total_slots;
+    const double link_bytes =
+        static_cast<double>(link_rate_bps) / 8.0 * span.to_seconds();
+    return link_bytes > 0 ? static_cast<double>(bytes_sent_) / link_bytes : 0.0;
+}
+
+// --- FixedIntervalProber ----------------------------------------------------
+
+FixedIntervalProber::FixedIntervalProber(sim::Scheduler& sched, const Config& cfg,
+                                         sim::PacketSink& out)
+    : sched_{&sched}, cfg_{cfg}, out_{&out}, next_id_{fresh_id_block()} {
+    sched_->schedule_at(cfg_.start, [this] { emit(); });
+}
+
+void FixedIntervalProber::emit() {
+    if (sched_->now() >= cfg_.stop) return;
+    const auto probe_index = static_cast<std::int64_t>(send_times_.size());
+    send_times_.push_back(sched_->now());
+    received_.push_back(0);
+    max_owd_.push_back(TimeNs::zero());
+    for (int k = 0; k < cfg_.packets_per_probe; ++k) {
+        sim::Packet pkt;
+        pkt.id = ++next_id_;
+        pkt.flow = cfg_.flow;
+        pkt.kind = sim::PacketKind::probe;
+        pkt.size_bytes = cfg_.packet_bytes;
+        pkt.seq = probe_index;
+        pkt.probe_pkt = k;
+        pkt.sent_at = sched_->now();
+        if (k == 0) {
+            out_->accept(pkt);
+        } else {
+            sched_->schedule_after(cfg_.intra_probe_gap * k,
+                                   [this, pkt]() mutable {
+                                       pkt.sent_at = sched_->now();
+                                       out_->accept(pkt);
+                                   });
+        }
+    }
+    sched_->schedule_after(cfg_.interval, [this] { emit(); });
+}
+
+void FixedIntervalProber::accept(const sim::Packet& pkt) {
+    if (pkt.kind != sim::PacketKind::probe || pkt.flow != cfg_.flow) return;
+    const auto idx = static_cast<std::size_t>(pkt.seq);
+    if (idx >= send_times_.size()) return;
+    ++received_[idx];
+    max_owd_[idx] = std::max(max_owd_[idx], sched_->now() - pkt.sent_at);
+}
+
+std::vector<core::ProbeOutcome> FixedIntervalProber::outcomes() const {
+    std::vector<core::ProbeOutcome> out;
+    out.reserve(send_times_.size());
+    for (std::size_t i = 0; i < send_times_.size(); ++i) {
+        core::ProbeOutcome po;
+        po.slot = static_cast<core::SlotIndex>(i);
+        po.send_time = send_times_[i];
+        po.packets_sent = cfg_.packets_per_probe;
+        po.packets_lost = cfg_.packets_per_probe - received_[i];
+        po.max_owd = max_owd_[i];
+        po.any_received = received_[i] > 0;
+        out.push_back(po);
+    }
+    return out;
+}
+
+}  // namespace bb::probes

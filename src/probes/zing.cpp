@@ -1,0 +1,99 @@
+#include "probes/zing.h"
+
+#include <atomic>
+
+namespace bb::probes {
+
+namespace {
+std::uint64_t fresh_id_block() {
+    static std::atomic<std::uint64_t> next_block{0xC000};
+    return next_block.fetch_add(1) << 32;
+}
+}  // namespace
+
+ZingProber::ZingProber(sim::Scheduler& sched, const Config& cfg, sim::PacketSink& out, Rng rng)
+    : sched_{&sched}, cfg_{cfg}, out_{&out}, rng_{std::move(rng)}, next_id_{fresh_id_block()} {
+    sched_->schedule_at(cfg_.start, [this] { emit(); });
+}
+
+void ZingProber::emit() {
+    if (sched_->now() >= cfg_.stop) return;
+    for (int k = 0; k < cfg_.packets_per_flight; ++k) {
+        sim::Packet pkt;
+        pkt.id = ++next_id_;
+        pkt.flow = cfg_.flow;
+        pkt.kind = sim::PacketKind::probe;
+        pkt.size_bytes = cfg_.packet_bytes;
+        pkt.seq = static_cast<std::int64_t>(send_times_.size());
+        pkt.probe_pkt = k;
+        pkt.sent_at = sched_->now();
+        send_times_.push_back(sched_->now());
+        received_.push_back(false);
+        owd_.push_back(TimeNs::zero());
+        bytes_sent_ += cfg_.packet_bytes;
+        out_->accept(pkt);
+    }
+    sched_->schedule_after(rng_.exponential(cfg_.mean_interval), [this] { emit(); });
+}
+
+void ZingProber::accept(const sim::Packet& pkt) {
+    if (pkt.kind != sim::PacketKind::probe || pkt.flow != cfg_.flow) return;
+    const auto seq = static_cast<std::size_t>(pkt.seq);
+    if (seq < received_.size()) {
+        received_[seq] = true;
+        owd_[seq] = sched_->now() - pkt.sent_at;
+    }
+}
+
+std::vector<core::ProbeOutcome> ZingProber::outcomes() const {
+    std::vector<core::ProbeOutcome> out;
+    out.reserve(send_times_.size());
+    for (std::size_t i = 0; i < send_times_.size(); ++i) {
+        core::ProbeOutcome po;
+        po.slot = static_cast<core::SlotIndex>(i);
+        po.send_time = send_times_[i];
+        po.packets_sent = 1;
+        po.packets_lost = received_[i] ? 0 : 1;
+        po.max_owd = owd_[i];
+        po.any_received = received_[i];
+        out.push_back(po);
+    }
+    return out;
+}
+
+ZingResult ZingProber::result() const {
+    ZingResult res;
+    res.sent = send_times_.size();
+    RunningStats durations;
+
+    std::size_t run_start = 0;
+    std::uint64_t run_len = 0;
+    for (std::size_t i = 0; i < received_.size(); ++i) {
+        if (received_[i]) {
+            ++res.received;
+            if (run_len > 0) {
+                durations.add((send_times_[i - 1] - send_times_[run_start]).to_seconds());
+                res.max_run_length = std::max(res.max_run_length, run_len);
+                ++res.loss_runs;
+                run_len = 0;
+            }
+        } else {
+            ++res.lost;
+            if (run_len == 0) run_start = i;
+            ++run_len;
+        }
+    }
+    if (run_len > 0) {
+        durations.add((send_times_.back() - send_times_[run_start]).to_seconds());
+        res.max_run_length = std::max(res.max_run_length, run_len);
+        ++res.loss_runs;
+    }
+
+    res.loss_frequency =
+        res.sent > 0 ? static_cast<double>(res.lost) / static_cast<double>(res.sent) : 0.0;
+    res.mean_duration_s = durations.mean();
+    res.sd_duration_s = durations.stddev();
+    return res;
+}
+
+}  // namespace bb::probes

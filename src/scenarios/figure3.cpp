@@ -1,0 +1,42 @@
+#include "scenarios/figure3.h"
+
+namespace bb::scenarios {
+
+Figure3Testbed::Figure3Testbed(const Config& cfg) : cfg_{cfg} {
+    // Receiving side (hops D/E): the hop-D router distributes by destination
+    // host over GE segments to the two receiving hosts.
+    ge_to_traffic_rx_ = std::make_unique<sim::DelayLink>(sched_, cfg.ge_delay, traffic_rx_);
+    ge_to_probe_rx_ = std::make_unique<sim::DelayLink>(sched_, cfg.ge_delay, probe_rx_);
+    hop_d_.add_route(kTrafficReceiver, *ge_to_traffic_rx_);
+    hop_d_.add_route(kProbeReceiver, *ge_to_probe_rx_);
+    hop_d_.set_default_route(blackhole_);
+    traffic_rx_.set_default(blackhole_);
+    probe_rx_.set_default(blackhole_);
+    rev_demux_.set_default(blackhole_);
+
+    // Hop C: the OC3 bottleneck with the 50 ms delay emulator downstream.
+    sim::QueueBase::LinkConfig oc3;
+    oc3.rate_bps = cfg.oc3_rate_bps;
+    oc3.prop_delay = cfg.prop_delay;
+    oc3.capacity_time = cfg.buffer_time;
+    hop_c_ = std::make_unique<sim::BottleneckQueue>(sched_, oc3, hop_d_);
+
+    // Hop B: two parallel OC12 queues (one per sender host) into hop C.
+    sim::QueueBase::LinkConfig oc12;
+    oc12.rate_bps = cfg.oc3_rate_bps * cfg.oc12_factor;
+    oc12.prop_delay = cfg.ge_delay;
+    oc12.capacity_time = cfg.buffer_time;
+    hop_b_traffic_ = std::make_unique<sim::BottleneckQueue>(sched_, oc12, *hop_c_);
+    hop_b_probe_ = std::make_unique<sim::BottleneckQueue>(sched_, oc12, *hop_c_);
+
+    // Sending hosts: stamp addresses so hop D can route.
+    traffic_stamper_ = std::make_unique<sim::AddressStamper>(kTrafficSender, kTrafficReceiver,
+                                                             *hop_b_traffic_);
+    probe_stamper_ =
+        std::make_unique<sim::AddressStamper>(kProbeSender, kProbeReceiver, *hop_b_probe_);
+
+    // Reverse path: receivers' ACKs go back over an uncongested 50 ms path.
+    reverse_ = std::make_unique<sim::DelayLink>(sched_, cfg.prop_delay, rev_demux_);
+}
+
+}  // namespace bb::scenarios

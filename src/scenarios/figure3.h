@@ -1,0 +1,94 @@
+// Full reproduction of the paper's Figure 3 testbed topology:
+//
+//   traffic hosts --GE--> [hop B GSR] --OC12--+
+//                                              +--[hop C: OC3 bottleneck,
+//   probe host    --GE--> [hop B GSR] --OC12--+    +50 ms delay emulator]
+//                                                  --> [hop D router] --GE--> hosts
+//
+// Cross traffic and probe traffic traverse *separate* hop-B routers and
+// OC12 links (as in the paper, to accommodate the DAG taps) and multiplex
+// only at the congested OC3 hop C.  Rates are scaled by the same factor as
+// the simple dumbbell (OC3 -> bottleneck_rate; OC12 = 4x; GE treated as
+// delay-only).
+//
+// The simple `Testbed` collapses all of this into one queue; this class
+// exists to validate that collapse: the loss process at hop C is identical
+// because only hop C congests.
+#ifndef BB_SCENARIOS_FIGURE3_H
+#define BB_SCENARIOS_FIGURE3_H
+
+#include <memory>
+
+#include "sim/demux.h"
+#include "sim/link.h"
+#include "sim/router.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace bb::scenarios {
+
+class Figure3Testbed {
+public:
+    // Host addresses in the topology.
+    static constexpr sim::Address kTrafficSender = 1;
+    static constexpr sim::Address kProbeSender = 2;
+    static constexpr sim::Address kTrafficReceiver = 3;
+    static constexpr sim::Address kProbeReceiver = 4;
+
+    struct Config {
+        std::int64_t oc3_rate_bps{30'000'000};   // the scaled bottleneck
+        int oc12_factor{4};                      // OC12 / OC3 rate ratio
+        TimeNs prop_delay{milliseconds(50)};     // the Adtech delay emulator
+        TimeNs buffer_time{milliseconds(100)};   // hop C output buffer
+        TimeNs ge_delay{microseconds(50)};       // GE access segments
+    };
+
+    explicit Figure3Testbed(const Config& cfg);
+    Figure3Testbed() : Figure3Testbed(Config{}) {}
+
+    Figure3Testbed(const Figure3Testbed&) = delete;
+    Figure3Testbed& operator=(const Figure3Testbed&) = delete;
+
+    [[nodiscard]] sim::Scheduler& sched() noexcept { return sched_; }
+
+    // Ingress points for the two sender hosts (already address-stamped).
+    [[nodiscard]] sim::PacketSink& traffic_sender_in() noexcept { return *traffic_stamper_; }
+    [[nodiscard]] sim::PacketSink& probe_sender_in() noexcept { return *probe_stamper_; }
+    // Reverse path (ACKs) back to the sending side.
+    [[nodiscard]] sim::PacketSink& reverse_in() noexcept { return *reverse_; }
+
+    // The congested hop C queue — where the DAG taps sit.
+    [[nodiscard]] sim::QueueBase& bottleneck() noexcept { return *hop_c_; }
+    // The hop-B OC12 queues (should never congest).
+    [[nodiscard]] sim::QueueBase& hop_b_traffic() noexcept { return *hop_b_traffic_; }
+    [[nodiscard]] sim::QueueBase& hop_b_probe() noexcept { return *hop_b_probe_; }
+    [[nodiscard]] sim::Router& hop_d() noexcept { return hop_d_; }
+
+    // Receiving-side demultiplexers (by flow id, per receiver host).
+    [[nodiscard]] sim::FlowDemux& traffic_receiver() noexcept { return traffic_rx_; }
+    [[nodiscard]] sim::FlowDemux& probe_receiver() noexcept { return probe_rx_; }
+    [[nodiscard]] sim::FlowDemux& rev_demux() noexcept { return rev_demux_; }
+
+    [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+private:
+    Config cfg_;
+    sim::Scheduler sched_;
+    sim::CountingSink blackhole_;
+    sim::FlowDemux traffic_rx_;
+    sim::FlowDemux probe_rx_;
+    sim::FlowDemux rev_demux_;
+    sim::Router hop_d_;
+    std::unique_ptr<sim::DelayLink> ge_to_traffic_rx_;
+    std::unique_ptr<sim::DelayLink> ge_to_probe_rx_;
+    std::unique_ptr<sim::QueueBase> hop_c_;
+    std::unique_ptr<sim::QueueBase> hop_b_traffic_;
+    std::unique_ptr<sim::QueueBase> hop_b_probe_;
+    std::unique_ptr<sim::AddressStamper> traffic_stamper_;
+    std::unique_ptr<sim::AddressStamper> probe_stamper_;
+    std::unique_ptr<sim::DelayLink> reverse_;
+};
+
+}  // namespace bb::scenarios
+
+#endif  // BB_SCENARIOS_FIGURE3_H

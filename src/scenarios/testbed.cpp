@@ -1,0 +1,39 @@
+#include "scenarios/testbed.h"
+
+namespace bb::scenarios {
+
+Testbed::Testbed(const TestbedConfig& cfg) : cfg_{cfg} {
+    fwd_demux_.set_default(blackhole_);
+    rev_demux_.set_default(blackhole_);
+
+    sim::QueueBase::LinkConfig link;
+    link.rate_bps = cfg.bottleneck_rate_bps;
+    link.prop_delay = cfg.prop_delay;
+    link.capacity_time = cfg.buffer_time;
+
+    if (cfg.discipline == QueueDiscipline::red) {
+        bottleneck_ = std::make_unique<sim::RedQueue>(sched_, link, cfg.red, fwd_demux_,
+                                                      Rng{cfg.seed ^ 0xAEDull});
+    } else {
+        bottleneck_ = std::make_unique<sim::BottleneckQueue>(sched_, link, fwd_demux_);
+    }
+
+    // Upstream hops: faster drop-tail queues with negligible extra
+    // propagation, feeding the next hop toward the bottleneck.
+    sim::PacketSink* next = bottleneck_.get();
+    for (int i = 0; i < cfg.extra_hops; ++i) {
+        sim::QueueBase::LinkConfig hop = link;
+        hop.rate_bps = static_cast<std::int64_t>(cfg.extra_hop_rate_factor *
+                                                 static_cast<double>(cfg.bottleneck_rate_bps));
+        hop.prop_delay = microseconds(100);
+        hops_.push_back(std::make_unique<sim::BottleneckQueue>(sched_, hop, *next));
+        next = hops_.back().get();
+    }
+    // hops_ was built from the bottleneck outward; reverse so front() is the
+    // entry point.
+    std::reverse(hops_.begin(), hops_.end());
+
+    reverse_ = std::make_unique<sim::DelayLink>(sched_, cfg.prop_delay, rev_demux_);
+}
+
+}  // namespace bb::scenarios

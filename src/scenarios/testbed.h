@@ -1,0 +1,85 @@
+// The simulated equivalent of the paper's §4.1 laboratory dumbbell:
+// sources -> [bottleneck queue + output link, 50 ms one-way delay] -> sinks,
+// with an uncongested 50 ms reverse path for ACKs.  The bottleneck buffer
+// holds ~100 ms of packets, as in the paper.
+//
+// Extensions beyond the paper's single drop-tail hop:
+//  - `discipline` selects the bottleneck queue (drop-tail or RED), for the
+//    AQM question §7 raises;
+//  - `extra_hops` inserts faster upstream queues in front of the bottleneck,
+//    for the "more complex multi-hop scenarios" §6.2/§7 leave as future work.
+//
+// The default bottleneck rate is scaled down from OC3 (155 Mb/s) to keep
+// simulated runs fast; every experiment reports quantities relative to the
+// configured rate, so the shape of the results is rate-independent.
+#ifndef BB_SCENARIOS_TESTBED_H
+#define BB_SCENARIOS_TESTBED_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/demux.h"
+#include "sim/link.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace bb::scenarios {
+
+enum class QueueDiscipline { drop_tail, red };
+
+struct TestbedConfig {
+    std::int64_t bottleneck_rate_bps{30'000'000};
+    TimeNs prop_delay{milliseconds(50)};    // each direction, as in the paper
+    TimeNs buffer_time{milliseconds(100)};  // bottleneck buffer depth
+    QueueDiscipline discipline{QueueDiscipline::drop_tail};
+    sim::RedQueue::RedParams red{};
+    int extra_hops{0};                   // upstream queues before the bottleneck
+    double extra_hop_rate_factor{1.5};   // their rate, relative to the bottleneck
+    std::uint64_t seed{1};               // for RED's randomized drops
+};
+
+class Testbed {
+public:
+    explicit Testbed(const TestbedConfig& cfg = {});
+
+    Testbed(const Testbed&) = delete;
+    Testbed& operator=(const Testbed&) = delete;
+
+    [[nodiscard]] sim::Scheduler& sched() noexcept { return sched_; }
+    [[nodiscard]] sim::QueueBase& bottleneck() noexcept { return *bottleneck_; }
+    [[nodiscard]] const sim::QueueBase& bottleneck() const noexcept { return *bottleneck_; }
+
+    // Data-direction entry point (feeds the first hop).
+    [[nodiscard]] sim::PacketSink& forward_in() noexcept {
+        return hops_.empty() ? static_cast<sim::PacketSink&>(*bottleneck_)
+                             : static_cast<sim::PacketSink&>(*hops_.front());
+    }
+    // Reverse-direction entry point (ACK path back to the senders).
+    [[nodiscard]] sim::PacketSink& reverse_in() noexcept { return *reverse_; }
+
+    [[nodiscard]] sim::FlowDemux& fwd_demux() noexcept { return fwd_demux_; }
+    [[nodiscard]] sim::FlowDemux& rev_demux() noexcept { return rev_demux_; }
+
+    [[nodiscard]] const TestbedConfig& config() const noexcept { return cfg_; }
+
+    // Upstream hops (empty in the paper's single-hop dumbbell).
+    [[nodiscard]] const std::vector<std::unique_ptr<sim::QueueBase>>& upstream_hops()
+        const noexcept {
+        return hops_;
+    }
+
+private:
+    TestbedConfig cfg_;
+    sim::Scheduler sched_;
+    sim::FlowDemux fwd_demux_;
+    sim::FlowDemux rev_demux_;
+    sim::CountingSink blackhole_;
+    std::unique_ptr<sim::QueueBase> bottleneck_;
+    std::vector<std::unique_ptr<sim::QueueBase>> hops_;  // front() is the first hop
+    std::unique_ptr<sim::DelayLink> reverse_;
+};
+
+}  // namespace bb::scenarios
+
+#endif  // BB_SCENARIOS_TESTBED_H

@@ -1,0 +1,83 @@
+#include "scenarios/workload.h"
+
+namespace bb::scenarios {
+
+namespace {
+constexpr sim::FlowId kTcpFlowBase = 100;
+constexpr sim::FlowId kCbrFlow = 9000;
+constexpr sim::FlowId kBurstFlow = 9100;
+constexpr sim::FlowId kWebFlowBase = 20'000;
+}  // namespace
+
+Workload::Workload(Testbed& tb, const WorkloadConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
+    switch (cfg_.kind) {
+        case TrafficKind::infinite_tcp:
+            build_infinite_tcp(tb);
+            break;
+        case TrafficKind::cbr_uniform:
+        case TrafficKind::cbr_multi:
+            build_cbr(tb);
+            break;
+        case TrafficKind::web:
+            build_web(tb);
+            break;
+    }
+}
+
+void Workload::build_infinite_tcp(Testbed& tb) {
+    tcp::TcpConfig tcp_cfg;
+    tcp_cfg.rwnd_segments = cfg_.tcp_rwnd_segments;
+    for (int i = 0; i < cfg_.tcp_flows; ++i) {
+        const auto flow = static_cast<sim::FlowId>(kTcpFlowBase + i);
+        tcp_flows_.push_back(std::make_unique<tcp::TcpFlow>(
+            tb.sched(), flow, tcp_cfg, tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+            tb.rev_demux()));
+        // Stagger start times a little so slow start does not produce one
+        // giant synchronized burst at t=0 (the testbed hosts did the same).
+        const TimeNs start = seconds(rng_.uniform(0.0, 2.0));
+        tcp_flows_.back()->sender().start(start);
+    }
+}
+
+void Workload::build_cbr(Testbed& tb) {
+    const std::int64_t rate = tb.config().bottleneck_rate_bps;
+
+    if (cfg_.cbr_background_load > 0.0) {
+        traffic::CbrSource::Config base;
+        base.rate_bps = static_cast<std::int64_t>(cfg_.cbr_background_load *
+                                                  static_cast<double>(rate));
+        base.flow = kCbrFlow;
+        base.stop = cfg_.duration;
+        cbr_.push_back(
+            std::make_unique<traffic::CbrSource>(tb.sched(), base, tb.forward_in()));
+    }
+
+    traffic::EpisodicBurstSource::Config burst;
+    burst.episode_durations = cfg_.episode_durations.empty()
+                                  ? std::vector<TimeNs>{cfg_.episode_duration}
+                                  : cfg_.episode_durations;
+    burst.mean_gap = cfg_.mean_episode_gap;
+    burst.flow = kBurstFlow;
+    burst.stop = cfg_.duration;
+    burst.bottleneck_rate_bps = rate;
+    burst.bottleneck_capacity_bytes = tb.bottleneck().capacity_bytes();
+    burst.background_load = cfg_.cbr_background_load;
+    bursts_.push_back(std::make_unique<traffic::EpisodicBurstSource>(
+        tb.sched(), burst, tb.forward_in(), rng_.fork(0xb0)));
+}
+
+void Workload::build_web(Testbed& tb) {
+    traffic::WebSessionGenerator::Config web;
+    web.session_rate_per_s = cfg_.web_session_rate_per_s;
+    web.objects_per_session_mean = cfg_.web_objects_per_session;
+    web.pareto_alpha = cfg_.web_pareto_alpha;
+    web.object_min_bytes = cfg_.web_object_min_bytes;
+    web.think_time_mean = cfg_.web_think_time;
+    web.first_flow = kWebFlowBase;
+    web.stop = cfg_.duration;
+    web_ = std::make_unique<traffic::WebSessionGenerator>(
+        tb.sched(), web, tb.forward_in(), tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
+        rng_.fork(0xe5));
+}
+
+}  // namespace bb::scenarios

@@ -1,0 +1,41 @@
+// Flow demultiplexer: routes packets leaving the bottleneck to the right
+// receiving host (TCP receivers, probe receivers, byte sinks).
+#ifndef BB_SIM_DEMUX_H
+#define BB_SIM_DEMUX_H
+
+#include <unordered_map>
+
+#include "sim/packet.h"
+
+namespace bb::sim {
+
+class FlowDemux final : public PacketSink {
+public:
+    // Register a handler for a flow id.  The handler must outlive the demux.
+    void bind(FlowId flow, PacketSink& sink) { routes_[flow] = &sink; }
+
+    // Packets for unknown flows go to the default sink, if set; else they are
+    // counted as stray and discarded.
+    void set_default(PacketSink& sink) { default_ = &sink; }
+
+    void accept(const Packet& pkt) override {
+        if (auto it = routes_.find(pkt.flow); it != routes_.end()) {
+            it->second->accept(pkt);
+        } else if (default_ != nullptr) {
+            default_->accept(pkt);
+        } else {
+            ++stray_;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t stray_packets() const noexcept { return stray_; }
+
+private:
+    std::unordered_map<FlowId, PacketSink*> routes_;
+    PacketSink* default_{nullptr};
+    std::uint64_t stray_{0};
+};
+
+}  // namespace bb::sim
+
+#endif  // BB_SIM_DEMUX_H

@@ -1,0 +1,62 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::sim {
+
+RedQueue::RedQueue(Scheduler& sched, const LinkConfig& cfg, const RedParams& params,
+                   PacketSink& downstream, Rng rng)
+    : QueueBase{sched, cfg, downstream}, params_{params}, rng_{std::move(rng)} {
+    // Track transitions to an empty queue for the idle-aging rule.
+    on_dequeue([this](const QueueEvent& ev) {
+        if (ev.queue_bytes_after == 0) {
+            was_idle_ = true;
+            idle_since_ = ev.at;
+        }
+    });
+}
+
+void RedQueue::update_average() {
+    if (was_idle_) {
+        // Age the average as if `m` empty-queue samples had been taken, one
+        // per typical packet transmission time (500 B).
+        const TimeNs idle = sched().now() - idle_since_;
+        const double tx_s = 500.0 * 8.0 / static_cast<double>(rate_bps());
+        const double m = std::max(0.0, idle.to_seconds() / tx_s);
+        avg_ *= std::pow(1.0 - params_.weight, m);
+        was_idle_ = false;
+    }
+    avg_ = (1.0 - params_.weight) * avg_ +
+           params_.weight * static_cast<double>(queue_bytes());
+}
+
+bool RedQueue::admit(const Packet& pkt) {
+    update_average();
+
+    const double min_th = params_.min_threshold * static_cast<double>(capacity_bytes());
+    const double max_th = params_.max_threshold * static_cast<double>(capacity_bytes());
+
+    if (buffer_overflows(pkt) || avg_ >= max_th) {
+        ++forced_drops_;
+        count_since_drop_ = 0;
+        return false;
+    }
+    if (avg_ > min_th) {
+        ++count_since_drop_;
+        const double pb =
+            params_.max_drop_probability * (avg_ - min_th) / (max_th - min_th);
+        const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+        const double pa = std::min(1.0, pb / std::max(1e-9, denom));
+        if (rng_.bernoulli(pa)) {
+            ++early_drops_;
+            count_since_drop_ = 0;
+            return false;
+        }
+        return true;
+    }
+    count_since_drop_ = -1;
+    return true;
+}
+
+}  // namespace bb::sim

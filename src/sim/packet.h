@@ -1,0 +1,65 @@
+// Packet representation and the sink interface all forwarding elements share.
+#ifndef BB_SIM_PACKET_H
+#define BB_SIM_PACKET_H
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace bb::sim {
+
+enum class PacketKind : std::uint8_t {
+    data,   // TCP segment or UDP payload
+    ack,    // TCP acknowledgment
+    probe,  // measurement probe (ZING or BADABING)
+};
+
+using FlowId = std::uint32_t;
+using Address = std::uint32_t;  // host address, for routed topologies
+
+// A packet is a value: no invariant ties the fields together, so it is a
+// plain struct (C.2).  Fields that only apply to one kind (e.g. `ack_seq`)
+// are ignored by the others.
+struct Packet {
+    std::uint64_t id{0};       // globally unique, assigned by the source
+    FlowId flow{0};            // demultiplexing key
+    Address src_addr{0};       // source host (0 = unaddressed, point-to-point)
+    Address dst_addr{0};       // destination host
+    PacketKind kind{PacketKind::data};
+    std::int32_t size_bytes{0};
+    std::int64_t seq{0};       // TCP: first byte carried; probe: probe sequence
+    std::int64_t ack_seq{0};   // TCP acks: next expected byte
+    std::int32_t probe_pkt{0};  // index of this packet within a multi-packet probe
+    TimeNs sent_at{TimeNs::zero()};  // stamped when the source emitted it
+    TimeNs tstamp_echo{TimeNs::zero()};  // TCP timestamp echo (ACKs), for RTT sampling
+};
+
+// Anything that can receive packets.  Receivers, queues and links all
+// implement this, so topologies compose as chains of sinks.
+class PacketSink {
+public:
+    virtual ~PacketSink() = default;
+    virtual void accept(const Packet& pkt) = 0;
+};
+
+// Terminal sink that counts what reached it; handy in tests.
+class CountingSink final : public PacketSink {
+public:
+    void accept(const Packet& pkt) override {
+        ++packets_;
+        bytes_ += pkt.size_bytes;
+        last_ = pkt;
+    }
+    [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+    [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
+    [[nodiscard]] const Packet& last() const noexcept { return last_; }
+
+private:
+    std::uint64_t packets_{0};
+    std::int64_t bytes_{0};
+    Packet last_{};
+};
+
+}  // namespace bb::sim
+
+#endif  // BB_SIM_PACKET_H

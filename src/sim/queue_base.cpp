@@ -1,0 +1,61 @@
+#include "sim/queue_base.h"
+
+#include <stdexcept>
+
+namespace bb::sim {
+
+QueueBase::QueueBase(Scheduler& sched, const LinkConfig& cfg, PacketSink& downstream)
+    : sched_{&sched}, cfg_{cfg}, capacity_bytes_{cfg.capacity_bytes}, downstream_{&downstream} {
+    if (cfg_.rate_bps <= 0) throw std::invalid_argument{"QueueBase: rate must be > 0"};
+    if (capacity_bytes_ == 0) {
+        capacity_bytes_ = cfg_.capacity_time.ns() * cfg_.rate_bps / (8 * 1'000'000'000LL);
+    }
+    if (capacity_bytes_ <= 0) throw std::invalid_argument{"QueueBase: capacity must be > 0"};
+}
+
+void QueueBase::accept(const Packet& pkt) {
+    ++arrivals_;
+    // The policy decides first (and updates its own state, e.g. RED's EWMA);
+    // the physical-buffer check is enforced unconditionally afterwards.
+    const bool admitted = admit(pkt);
+    if (!admitted || buffer_overflows(pkt)) {
+        ++drops_;
+        const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
+        for (const auto& h : drop_hooks_) h(ev);
+        return;
+    }
+    fifo_.push_back(pkt);
+    queued_bytes_ += pkt.size_bytes;
+    const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
+    for (const auto& h : enqueue_hooks_) h(ev);
+    if (!transmitting_) start_transmission();
+}
+
+void QueueBase::start_transmission() {
+    if (fifo_.empty()) {
+        transmitting_ = false;
+        in_flight_bytes_ = 0;
+        return;
+    }
+    transmitting_ = true;
+    Packet pkt = fifo_.front();
+    fifo_.pop_front();
+    queued_bytes_ -= pkt.size_bytes;
+    in_flight_bytes_ = pkt.size_bytes;
+    const TimeNs tx = transmission_time(pkt.size_bytes, cfg_.rate_bps);
+    sched_->schedule_after(tx, [this, pkt] { finish_transmission(pkt); });
+}
+
+void QueueBase::finish_transmission(Packet pkt) {
+    ++departures_;
+    departed_bytes_ += pkt.size_bytes;
+    in_flight_bytes_ = 0;
+    const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
+    for (const auto& h : dequeue_hooks_) h(ev);
+    // Propagation happens in parallel with the next transmission.
+    sched_->schedule_after(cfg_.prop_delay,
+                           [pkt, sink = downstream_] { sink->accept(pkt); });
+    start_transmission();
+}
+
+}  // namespace bb::sim

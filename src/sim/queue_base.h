@@ -1,0 +1,101 @@
+// Common machinery for queues feeding a serial output link: FIFO buffering,
+// transmission serialization, propagation, byte accounting and trace hooks.
+// Concrete disciplines (drop-tail, RED) only decide admission.
+#ifndef BB_SIM_QUEUE_BASE_H
+#define BB_SIM_QUEUE_BASE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace bb::sim {
+
+// Statistics exported by queue trace hooks.
+struct QueueEvent {
+    Packet pkt;
+    TimeNs at;
+    std::int64_t queue_bytes_after;  // occupancy after this event was applied
+};
+
+class QueueBase : public PacketSink {
+public:
+    struct LinkConfig {
+        std::int64_t rate_bps{155'000'000};
+        TimeNs prop_delay{milliseconds(50)};
+        std::int64_t capacity_bytes{0};          // 0 => derive from capacity_time
+        TimeNs capacity_time{milliseconds(100)};  // buffer depth in time at rate
+    };
+
+    QueueBase(Scheduler& sched, const LinkConfig& cfg, PacketSink& downstream);
+
+    void accept(const Packet& pkt) final;
+
+    // --- observability ------------------------------------------------------
+    [[nodiscard]] std::int64_t queue_bytes() const noexcept { return queued_bytes_; }
+    [[nodiscard]] std::size_t queue_packets() const noexcept { return fifo_.size(); }
+    [[nodiscard]] std::int64_t capacity_bytes() const noexcept { return capacity_bytes_; }
+    [[nodiscard]] std::int64_t rate_bps() const noexcept { return cfg_.rate_bps; }
+    // Queueing delay a newly arriving packet would experience right now.
+    [[nodiscard]] TimeNs queueing_delay() const noexcept {
+        return transmission_time(queued_bytes_ + in_flight_bytes_, cfg_.rate_bps);
+    }
+    [[nodiscard]] TimeNs max_queueing_delay() const noexcept {
+        return transmission_time(capacity_bytes_, cfg_.rate_bps);
+    }
+
+    [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
+    [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+    [[nodiscard]] std::uint64_t departures() const noexcept { return departures_; }
+    [[nodiscard]] std::int64_t departed_bytes() const noexcept { return departed_bytes_; }
+
+    // Trace hooks (ground-truth instrumentation; the simulated DAG cards).
+    using Hook = std::function<void(const QueueEvent&)>;
+    void on_enqueue(Hook h) { enqueue_hooks_.push_back(std::move(h)); }
+    void on_drop(Hook h) { drop_hooks_.push_back(std::move(h)); }
+    void on_dequeue(Hook h) { dequeue_hooks_.push_back(std::move(h)); }
+
+protected:
+    // Admission policy: return true to enqueue, false to drop.  Called with
+    // the buffer state visible through the accessors above; a policy must
+    // also respect the physical buffer (the base enforces it regardless).
+    [[nodiscard]] virtual bool admit(const Packet& pkt) = 0;
+
+    [[nodiscard]] Scheduler& sched() noexcept { return *sched_; }
+    [[nodiscard]] const Scheduler& sched() const noexcept { return *sched_; }
+    // True when buffering `pkt` would exceed the physical capacity.
+    [[nodiscard]] bool buffer_overflows(const Packet& pkt) const noexcept {
+        return queued_bytes_ + pkt.size_bytes > capacity_bytes_;
+    }
+
+private:
+    void start_transmission();
+    void finish_transmission(Packet pkt);
+
+    Scheduler* sched_;
+    LinkConfig cfg_;
+    std::int64_t capacity_bytes_;
+    PacketSink* downstream_;
+
+    std::deque<Packet> fifo_;
+    std::int64_t queued_bytes_{0};
+    std::int64_t in_flight_bytes_{0};
+    bool transmitting_{false};
+
+    std::uint64_t arrivals_{0};
+    std::uint64_t drops_{0};
+    std::uint64_t departures_{0};
+    std::int64_t departed_bytes_{0};
+
+    std::vector<Hook> enqueue_hooks_;
+    std::vector<Hook> drop_hooks_;
+    std::vector<Hook> dequeue_hooks_;
+};
+
+}  // namespace bb::sim
+
+#endif  // BB_SIM_QUEUE_BASE_H

@@ -1,0 +1,90 @@
+// Destination-address routing and address stamping, for topologies built
+// from multiple routers (e.g. the paper's Figure 3 five-hop path).
+#ifndef BB_SIM_ROUTER_H
+#define BB_SIM_ROUTER_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/packet.h"
+
+namespace bb::sim {
+
+// Static-route IP-style forwarding: output port chosen by destination
+// address; unroutable packets go to the default port or are counted and
+// discarded.
+class Router final : public PacketSink {
+public:
+    void add_route(Address dst, PacketSink& port) { routes_[dst] = &port; }
+    void set_default_route(PacketSink& port) { default_ = &port; }
+
+    void accept(const Packet& pkt) override {
+        ++forwarded_;
+        if (const auto it = routes_.find(pkt.dst_addr); it != routes_.end()) {
+            it->second->accept(pkt);
+        } else if (default_ != nullptr) {
+            default_->accept(pkt);
+        } else {
+            ++unroutable_;
+            --forwarded_;
+        }
+    }
+
+    [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+    [[nodiscard]] std::uint64_t unroutable() const noexcept { return unroutable_; }
+
+private:
+    std::unordered_map<Address, PacketSink*> routes_;
+    PacketSink* default_{nullptr};
+    std::uint64_t forwarded_{0};
+    std::uint64_t unroutable_{0};
+};
+
+// Reflects packets back toward their sender (swapping addresses) — a ping-
+// style echo responder.  Used to turn the one-way BADABING receiver into an
+// RTT-measuring arrangement: the reflected packet keeps its original
+// `sent_at`, so the sender-side receiver computes round-trip delay instead
+// of one-way delay.
+class Reflector final : public PacketSink {
+public:
+    explicit Reflector(PacketSink& reverse_path) : reverse_{&reverse_path} {}
+
+    void accept(const Packet& pkt) override {
+        Packet echo = pkt;
+        echo.src_addr = pkt.dst_addr;
+        echo.dst_addr = pkt.src_addr;
+        ++reflected_;
+        reverse_->accept(echo);
+    }
+
+    [[nodiscard]] std::uint64_t reflected() const noexcept { return reflected_; }
+
+private:
+    PacketSink* reverse_;
+    std::uint64_t reflected_{0};
+};
+
+// Stamps source/destination addresses onto packets from sources that are
+// address-unaware (the traffic generators address by flow id only), then
+// forwards downstream.
+class AddressStamper final : public PacketSink {
+public:
+    AddressStamper(Address src, Address dst, PacketSink& downstream)
+        : src_{src}, dst_{dst}, downstream_{&downstream} {}
+
+    void accept(const Packet& pkt) override {
+        Packet stamped = pkt;
+        stamped.src_addr = src_;
+        stamped.dst_addr = dst_;
+        downstream_->accept(stamped);
+    }
+
+private:
+    Address src_;
+    Address dst_;
+    PacketSink* downstream_;
+};
+
+}  // namespace bb::sim
+
+#endif  // BB_SIM_ROUTER_H

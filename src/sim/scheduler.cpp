@@ -1,0 +1,36 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace bb::sim {
+
+EventId Scheduler::schedule_at(TimeNs at, std::function<void()> fn) {
+    if (at < now_) throw std::invalid_argument{"Scheduler: event scheduled in the past"};
+    const EventId id = next_id_++;
+    heap_.push_back(Entry{at, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return id;
+}
+
+void Scheduler::run_until(TimeNs t_end) {
+    while (!heap_.empty()) {
+        if (heap_.front().at > t_end) break;
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry entry = std::move(heap_.back());
+        heap_.pop_back();
+        if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        assert(entry.at >= now_);
+        now_ = entry.at;
+        ++executed_;
+        entry.fn();
+    }
+    if (t_end != TimeNs::max() && t_end > now_) now_ = t_end;
+}
+
+}  // namespace bb::sim

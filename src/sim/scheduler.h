@@ -1,0 +1,77 @@
+// Discrete-event scheduler.
+//
+// Events are closures ordered by (time, insertion sequence); ties are broken
+// by insertion order so runs are fully deterministic.  Events can be
+// cancelled (needed for TCP retransmission timers); cancellation is lazy.
+#ifndef BB_SIM_SCHEDULER_H
+#define BB_SIM_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace bb::sim {
+
+using EventId = std::uint64_t;
+
+class Scheduler {
+public:
+    Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+    // Schedule `fn` to run at absolute time `at` (>= now).
+    EventId schedule_at(TimeNs at, std::function<void()> fn);
+
+    // Schedule `fn` to run `delay` after the current time.
+    EventId schedule_after(TimeNs delay, std::function<void()> fn) {
+        return schedule_at(now_ + delay, std::move(fn));
+    }
+
+    // Cancel a pending event.  Cancelling an already-fired or unknown id is a
+    // harmless no-op.
+    void cancel(EventId id) { cancelled_.insert(id); }
+
+    // Run events until the queue is empty or simulated time would exceed
+    // `t_end`.  Events scheduled exactly at `t_end` run.  On return, now() is
+    // max(now, t_end) if the horizon was reached, else the last event time.
+    void run_until(TimeNs t_end);
+
+    // Run until the event queue drains completely.
+    void run() { run_until(TimeNs::max()); }
+
+    // Number of entries still in the heap (cancelled-but-unpopped entries are
+    // included; the count is an upper bound on live events).
+    [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
+    [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+private:
+    struct Entry {
+        TimeNs at;
+        EventId id;
+        std::function<void()> fn;
+    };
+    // Min-heap on (at, id) via std::push_heap/pop_heap over a plain vector,
+    // so entries stay mutable and the closure can be moved out when popped.
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.id > b.id;
+        }
+    };
+
+    TimeNs now_{TimeNs::zero()};
+    EventId next_id_{1};
+    std::uint64_t executed_{0};
+    std::vector<Entry> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace bb::sim
+
+#endif  // BB_SIM_SCHEDULER_H

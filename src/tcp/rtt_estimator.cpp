@@ -1,0 +1,33 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bb::tcp {
+
+void RttEstimator::add_sample(TimeNs rtt) noexcept {
+    if (!has_sample_) {
+        srtt_ = rtt;
+        rttvar_ = TimeNs{rtt.ns() / 2};
+        has_sample_ = true;
+    } else {
+        // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt
+        const std::int64_t err = std::llabs(srtt_.ns() - rtt.ns());
+        rttvar_ = TimeNs{(3 * rttvar_.ns() + err) / 4};
+        srtt_ = TimeNs{(7 * srtt_.ns() + rtt.ns()) / 8};
+    }
+    rto_ = TimeNs{srtt_.ns() + std::max<std::int64_t>(4 * rttvar_.ns(), 1'000'000)};
+    clamp();
+}
+
+void RttEstimator::backoff() noexcept {
+    rto_ = TimeNs{rto_.ns() * 2};
+    clamp();
+}
+
+void RttEstimator::clamp() noexcept {
+    rto_ = std::max(rto_, cfg_.min_rto);
+    rto_ = std::min(rto_, cfg_.max_rto);
+}
+
+}  // namespace bb::tcp

@@ -1,0 +1,43 @@
+// Jacobson/Karels round-trip-time estimation and RTO computation (RFC 6298).
+#ifndef BB_TCP_RTT_ESTIMATOR_H
+#define BB_TCP_RTT_ESTIMATOR_H
+
+#include "util/time.h"
+
+namespace bb::tcp {
+
+class RttEstimator {
+public:
+    struct Config {
+        TimeNs initial_rto{seconds_i(1)};
+        TimeNs min_rto{milliseconds(200)};
+        TimeNs max_rto{seconds_i(60)};
+    };
+
+    explicit RttEstimator(Config cfg) : cfg_{cfg}, rto_{cfg.initial_rto} {}
+    RttEstimator() : RttEstimator(Config{}) {}
+
+    // Feed a (non-retransmitted, or timestamp-based) RTT sample.
+    void add_sample(TimeNs rtt) noexcept;
+
+    // Exponential backoff after a retransmission timeout (Karn).
+    void backoff() noexcept;
+
+    [[nodiscard]] TimeNs rto() const noexcept { return rto_; }
+    [[nodiscard]] TimeNs srtt() const noexcept { return srtt_; }
+    [[nodiscard]] TimeNs rttvar() const noexcept { return rttvar_; }
+    [[nodiscard]] bool has_sample() const noexcept { return has_sample_; }
+
+private:
+    void clamp() noexcept;
+
+    Config cfg_;
+    bool has_sample_{false};
+    TimeNs srtt_{TimeNs::zero()};
+    TimeNs rttvar_{TimeNs::zero()};
+    TimeNs rto_;
+};
+
+}  // namespace bb::tcp
+
+#endif  // BB_TCP_RTT_ESTIMATOR_H

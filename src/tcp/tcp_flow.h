@@ -1,0 +1,43 @@
+// Convenience wiring of one TCP connection across the dumbbell:
+//   sender -> forward path (bottleneck) -> receiver -> reverse path -> sender.
+#ifndef BB_TCP_TCP_FLOW_H
+#define BB_TCP_TCP_FLOW_H
+
+#include <memory>
+
+#include "sim/demux.h"
+#include "tcp/tcp_receiver.h"
+#include "tcp/tcp_sender.h"
+
+namespace bb::tcp {
+
+class TcpFlow {
+public:
+    // `forward` is the data-direction entry point (usually the bottleneck
+    // queue or an access link in front of it).  `reverse` carries ACKs back.
+    // `fwd_demux` / `rev_demux` are the demultiplexers at the two ends; the
+    // flow binds itself into both.
+    TcpFlow(sim::Scheduler& sched, sim::FlowId flow, const TcpConfig& cfg,
+            sim::PacketSink& forward, sim::PacketSink& reverse, sim::FlowDemux& fwd_demux,
+            sim::FlowDemux& rev_demux)
+        : sender_{std::make_unique<TcpSender>(sched, flow, cfg, forward)},
+          receiver_{std::make_unique<TcpReceiver>(
+              sched, flow, reverse,
+              TcpReceiver::Options{cfg.ack_every, cfg.delayed_ack_timeout, 40})} {
+        fwd_demux.bind(flow, *receiver_);
+        rev_demux.bind(flow, *sender_);
+    }
+
+    [[nodiscard]] TcpSender& sender() noexcept { return *sender_; }
+    [[nodiscard]] TcpReceiver& receiver() noexcept { return *receiver_; }
+    [[nodiscard]] const TcpSender& sender() const noexcept { return *sender_; }
+    [[nodiscard]] const TcpReceiver& receiver() const noexcept { return *receiver_; }
+
+private:
+    std::unique_ptr<TcpSender> sender_;
+    std::unique_ptr<TcpReceiver> receiver_;
+};
+
+}  // namespace bb::tcp
+
+#endif  // BB_TCP_TCP_FLOW_H

@@ -1,0 +1,43 @@
+#include "traffic/cbr.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace bb::traffic {
+
+namespace {
+std::uint64_t fresh_id_block() {
+    static std::atomic<std::uint64_t> next_block{0x4000};
+    return next_block.fetch_add(1) << 32;
+}
+
+std::int64_t checked_rate(std::int64_t rate_bps) {
+    if (rate_bps <= 0) throw std::invalid_argument{"CbrSource: rate must be > 0"};
+    return rate_bps;
+}
+}  // namespace
+
+CbrSource::CbrSource(sim::Scheduler& sched, const Config& cfg, sim::PacketSink& out)
+    : sched_{&sched},
+      cfg_{cfg},
+      out_{&out},
+      interval_{transmission_time(cfg.packet_bytes, checked_rate(cfg.rate_bps))},
+      next_id_{fresh_id_block()} {
+    sched_->schedule_at(cfg_.start, [this] { emit(); });
+}
+
+void CbrSource::emit() {
+    if (sched_->now() >= cfg_.stop) return;
+    sim::Packet pkt;
+    pkt.id = ++next_id_;
+    pkt.flow = cfg_.flow;
+    pkt.kind = sim::PacketKind::data;
+    pkt.size_bytes = cfg_.packet_bytes;
+    pkt.seq = static_cast<std::int64_t>(sent_);
+    pkt.sent_at = sched_->now();
+    ++sent_;
+    out_->accept(pkt);
+    sched_->schedule_after(interval_, [this] { emit(); });
+}
+
+}  // namespace bb::traffic

@@ -1,0 +1,42 @@
+// Constant-bit-rate traffic source (the Iperf baseline of paper §4).
+#ifndef BB_TRAFFIC_CBR_H
+#define BB_TRAFFIC_CBR_H
+
+#include <cstdint>
+
+#include "sim/packet.h"
+#include "sim/scheduler.h"
+
+namespace bb::traffic {
+
+class CbrSource {
+public:
+    struct Config {
+        std::int64_t rate_bps{50'000'000};
+        std::int32_t packet_bytes{1500};
+        sim::FlowId flow{9000};
+        TimeNs start{TimeNs::zero()};
+        TimeNs stop{TimeNs::max()};
+    };
+
+    CbrSource(sim::Scheduler& sched, const Config& cfg, sim::PacketSink& out);
+
+    CbrSource(const CbrSource&) = delete;
+    CbrSource& operator=(const CbrSource&) = delete;
+
+    [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+
+private:
+    void emit();
+
+    sim::Scheduler* sched_;
+    Config cfg_;
+    sim::PacketSink* out_;
+    TimeNs interval_;
+    std::uint64_t sent_{0};
+    std::uint64_t next_id_;
+};
+
+}  // namespace bb::traffic
+
+#endif  // BB_TRAFFIC_CBR_H

@@ -1,0 +1,180 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bb {
+
+namespace {
+bool parse_bool(const std::string& v, bool& out) {
+    if (v == "true" || v == "1" || v == "yes" || v == "on") {
+        out = true;
+        return true;
+    }
+    if (v == "false" || v == "0" || v == "no" || v == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+}  // namespace
+
+const std::string* FlagSet::add_string(const std::string& name,
+                                       const std::string& default_value,
+                                       const std::string& help) {
+    auto flag = std::make_unique<Flag>();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::string_v;
+    flag->s = std::make_unique<std::string>(default_value);
+    flag->default_repr = default_value.empty() ? "\"\"" : default_value;
+    const std::string* out = flag->s.get();
+    flags_.push_back(std::move(flag));
+    return out;
+}
+
+const double* FlagSet::add_double(const std::string& name, double default_value,
+                                  const std::string& help) {
+    auto flag = std::make_unique<Flag>();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::double_v;
+    flag->d = std::make_unique<double>(default_value);
+    flag->default_repr = std::to_string(default_value);
+    const double* out = flag->d.get();
+    flags_.push_back(std::move(flag));
+    return out;
+}
+
+const std::int64_t* FlagSet::add_int(const std::string& name, std::int64_t default_value,
+                                     const std::string& help) {
+    auto flag = std::make_unique<Flag>();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::int_v;
+    flag->i = std::make_unique<std::int64_t>(default_value);
+    flag->default_repr = std::to_string(default_value);
+    const std::int64_t* out = flag->i.get();
+    flags_.push_back(std::move(flag));
+    return out;
+}
+
+const bool* FlagSet::add_bool(const std::string& name, bool default_value,
+                              const std::string& help) {
+    auto flag = std::make_unique<Flag>();
+    flag->name = name;
+    flag->help = help;
+    flag->kind = Kind::bool_v;
+    flag->b = std::make_unique<bool>(default_value);
+    flag->default_repr = default_value ? "true" : "false";
+    const bool* out = flag->b.get();
+    flags_.push_back(std::move(flag));
+    return out;
+}
+
+FlagSet::Flag* FlagSet::find(const std::string& name) {
+    for (auto& f : flags_) {
+        if (f->name == name) return f.get();
+    }
+    return nullptr;
+}
+
+bool FlagSet::is_set(const std::string& name) const {
+    for (const auto& f : flags_) {
+        if (f->name == name) return f->set;
+    }
+    return false;
+}
+
+bool FlagSet::fail(const std::string& message) {
+    error_ = message;
+    std::fprintf(stderr, "%s: %s\n", program_.c_str(), message.c_str());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return false;
+}
+
+bool FlagSet::assign(Flag& flag, const std::string& value) {
+    switch (flag.kind) {
+        case Kind::string_v:
+            *flag.s = value;
+            break;
+        case Kind::double_v: {
+            char* end = nullptr;
+            const double v = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0') {
+                return fail("flag --" + flag.name + " expects a number, got '" + value + "'");
+            }
+            *flag.d = v;
+            break;
+        }
+        case Kind::int_v: {
+            char* end = nullptr;
+            const long long v = std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                return fail("flag --" + flag.name + " expects an integer, got '" + value +
+                            "'");
+            }
+            *flag.i = v;
+            break;
+        }
+        case Kind::bool_v: {
+            bool v = false;
+            if (!parse_bool(value, v)) {
+                return fail("flag --" + flag.name + " expects true/false, got '" + value +
+                            "'");
+            }
+            *flag.b = v;
+            break;
+        }
+    }
+    flag.set = true;
+    return true;
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            return fail("unexpected positional argument '" + arg + "'");
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        Flag* flag = find(arg);
+        if (flag == nullptr) return fail("unknown flag --" + arg);
+
+        if (!has_value) {
+            if (flag->kind == Kind::bool_v) {
+                // Bare boolean: --flag means true.
+                *flag->b = true;
+                flag->set = true;
+                continue;
+            }
+            if (i + 1 >= argc) return fail("flag --" + arg + " needs a value");
+            value = argv[++i];
+        }
+        if (!assign(*flag, value)) return false;
+    }
+    return true;
+}
+
+void FlagSet::print_usage() const {
+    std::printf("%s - %s\n\nflags:\n", program_.c_str(), description_.c_str());
+    for (const auto& f : flags_) {
+        std::printf("  --%-18s %s (default: %s)\n", f->name.c_str(), f->help.c_str(),
+                    f->default_repr.c_str());
+    }
+    std::printf("  --%-18s %s\n", "help", "show this message");
+}
+
+}  // namespace bb

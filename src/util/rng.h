@@ -1,0 +1,70 @@
+// Seeded random number generation for the simulator and probe processes.
+//
+// A thin wrapper around std::mt19937_64 with the distributions the paper's
+// experiments need.  Each component of an experiment owns its own Rng (usually
+// derived from a master seed), so reordering components does not perturb the
+// random streams of the others.
+#ifndef BB_UTIL_RNG_H
+#define BB_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+
+#include "util/time.h"
+
+namespace bb {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+    // Derive an independent child stream; `salt` distinguishes siblings.
+    [[nodiscard]] Rng fork(std::uint64_t salt) {
+        return Rng{engine_() ^ (salt * 0x9e3779b97f4a7c15ULL)};
+    }
+
+    [[nodiscard]] double uniform01() { return uniform_(engine_); }
+
+    [[nodiscard]] double uniform(double lo, double hi) {
+        return lo + (hi - lo) * uniform01();
+    }
+
+    [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+    // Exponential with the given mean (not rate).
+    [[nodiscard]] double exponential(double mean) {
+        std::exponential_distribution<double> d{1.0 / mean};
+        return d(engine_);
+    }
+
+    [[nodiscard]] TimeNs exponential(TimeNs mean) {
+        return seconds(exponential(mean.to_seconds()));
+    }
+
+    [[nodiscard]] double normal(double mean, double stddev) {
+        std::normal_distribution<double> d{mean, stddev};
+        return d(engine_);
+    }
+
+    // Pareto with shape `alpha` and minimum `xm` (heavy-tailed file sizes).
+    [[nodiscard]] double pareto(double alpha, double xm) {
+        const double u = 1.0 - uniform01();  // in (0, 1]
+        return xm / std::pow(u, 1.0 / alpha);
+    }
+
+    // Uniform integer in [lo, hi] inclusive.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        std::uniform_int_distribution<std::int64_t> d{lo, hi};
+        return d(engine_);
+    }
+
+    [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace bb
+
+#endif  // BB_UTIL_RNG_H

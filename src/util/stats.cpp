@@ -1,0 +1,19 @@
+#include "util/stats.h"
+
+#include <algorithm>
+
+namespace bb {
+
+double quantile(std::vector<double> values, double q) {
+    if (values.empty()) return 0.0;
+    if (q <= 0.0) return *std::min_element(values.begin(), values.end());
+    if (q >= 1.0) return *std::max_element(values.begin(), values.end());
+    std::sort(values.begin(), values.end());
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= values.size()) return values.back();
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace bb

@@ -1,0 +1,98 @@
+// Simulated-time representation.
+//
+// All simulator timestamps and durations are integer nanoseconds wrapped in a
+// strong type, so that arithmetic is exact and a raw int64_t cannot silently
+// be confused with a packet count or a byte count.  Floating-point seconds
+// appear only at the boundaries (configuration input, report output).
+#ifndef BB_UTIL_TIME_H
+#define BB_UTIL_TIME_H
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace bb {
+
+class TimeNs {
+public:
+    constexpr TimeNs() = default;
+    constexpr explicit TimeNs(std::int64_t ns) noexcept : ns_{ns} {}
+
+    [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+    [[nodiscard]] constexpr double to_seconds() const noexcept {
+        return static_cast<double>(ns_) * 1e-9;
+    }
+    [[nodiscard]] constexpr double to_millis() const noexcept {
+        return static_cast<double>(ns_) * 1e-6;
+    }
+
+    constexpr auto operator<=>(const TimeNs&) const noexcept = default;
+
+    constexpr TimeNs& operator+=(TimeNs rhs) noexcept {
+        ns_ += rhs.ns_;
+        return *this;
+    }
+    constexpr TimeNs& operator-=(TimeNs rhs) noexcept {
+        ns_ -= rhs.ns_;
+        return *this;
+    }
+
+    [[nodiscard]] static constexpr TimeNs max() noexcept {
+        return TimeNs{std::numeric_limits<std::int64_t>::max()};
+    }
+    [[nodiscard]] static constexpr TimeNs zero() noexcept { return TimeNs{0}; }
+
+private:
+    std::int64_t ns_{0};
+};
+
+[[nodiscard]] constexpr TimeNs operator+(TimeNs a, TimeNs b) noexcept {
+    return TimeNs{a.ns() + b.ns()};
+}
+[[nodiscard]] constexpr TimeNs operator-(TimeNs a, TimeNs b) noexcept {
+    return TimeNs{a.ns() - b.ns()};
+}
+[[nodiscard]] constexpr TimeNs operator*(TimeNs a, std::int64_t k) noexcept {
+    return TimeNs{a.ns() * k};
+}
+[[nodiscard]] constexpr TimeNs operator*(std::int64_t k, TimeNs a) noexcept {
+    return TimeNs{a.ns() * k};
+}
+// Integer division of two times yields a dimensionless count (e.g. how many
+// slots fit in an interval).
+[[nodiscard]] constexpr std::int64_t operator/(TimeNs a, TimeNs b) noexcept {
+    return a.ns() / b.ns();
+}
+
+[[nodiscard]] constexpr TimeNs nanoseconds(std::int64_t v) noexcept { return TimeNs{v}; }
+[[nodiscard]] constexpr TimeNs microseconds(std::int64_t v) noexcept {
+    return TimeNs{v * 1'000};
+}
+[[nodiscard]] constexpr TimeNs milliseconds(std::int64_t v) noexcept {
+    return TimeNs{v * 1'000'000};
+}
+[[nodiscard]] constexpr TimeNs seconds_i(std::int64_t v) noexcept {
+    return TimeNs{v * 1'000'000'000};
+}
+// Fractional seconds, for configuration convenience.  Rounds to the nearest
+// nanosecond.
+[[nodiscard]] constexpr TimeNs seconds(double v) noexcept {
+    return TimeNs{static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5))};
+}
+
+inline std::ostream& operator<<(std::ostream& os, TimeNs t) {
+    return os << t.to_seconds() << "s";
+}
+
+// Duration of transmitting `bytes` at `bits_per_second` on a serial link.
+[[nodiscard]] constexpr TimeNs transmission_time(std::int64_t bytes,
+                                                 std::int64_t bits_per_second) noexcept {
+    // bytes*8 bits / (bits/s) seconds -> nanoseconds.  Do the multiply first;
+    // 64-bit is ample for any realistic packet size.
+    return TimeNs{bytes * 8 * 1'000'000'000 / bits_per_second};
+}
+
+}  // namespace bb
+
+#endif  // BB_UTIL_TIME_H

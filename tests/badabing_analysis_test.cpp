@@ -1,0 +1,156 @@
+// Deeper BADABING tool behaviour: re-analysis, skew sensitivity, improved
+// design on the simulator, and probe-budget accounting.
+#include <gtest/gtest.h>
+
+#include "core/delay_stats.h"
+#include "probes/badabing.h"
+#include "scenarios/experiment.h"
+
+namespace bb {
+namespace {
+
+scenarios::TestbedConfig testbed_cfg() {
+    scenarios::TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    return cfg;
+}
+
+scenarios::WorkloadConfig cbr_workload(std::uint64_t seed, TimeNs duration = seconds_i(120)) {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::cbr_uniform;
+    wl.duration = duration;
+    wl.seed = seed;
+    wl.mean_episode_gap = seconds_i(5);
+    return wl;
+}
+
+probes::BadabingConfig tool_cfg(double p) {
+    probes::BadabingConfig cfg;
+    cfg.p = p;
+    cfg.total_slots = 0;
+    return cfg;
+}
+
+TEST(BadabingAnalysis, ReanalysisIsDeterministicAndThresholdMonotone) {
+    scenarios::Experiment exp{testbed_cfg(), cbr_workload(1)};
+    auto& tool = exp.add_badabing(tool_cfg(0.5));
+    exp.run();
+
+    core::MarkingConfig tight;
+    tight.alpha = 0.05;
+    tight.tau = milliseconds(20);
+    core::MarkingConfig loose;
+    loose.alpha = 0.3;
+    loose.tau = milliseconds(120);
+
+    const auto a1 = tool.analyze(tight);
+    const auto a2 = tool.analyze(tight);
+    EXPECT_DOUBLE_EQ(a1.frequency.value, a2.frequency.value)
+        << "re-analysis of the same run must be deterministic";
+
+    const auto b = tool.analyze(loose);
+    EXPECT_GE(b.frequency.value, a1.frequency.value)
+        << "more permissive thresholds can only mark more slots";
+}
+
+TEST(BadabingAnalysis, SmallClockSkewTolerated) {
+    const auto run = [&](double skew_ppm) {
+        scenarios::Experiment exp{testbed_cfg(), cbr_workload(2)};
+        auto cfg = tool_cfg(0.5);
+        cfg.receiver_clock_skew_ppm = skew_ppm;
+        auto& tool = exp.add_badabing(cfg);
+        exp.run();
+        return tool.analyze(exp.default_marking(0.5));
+    };
+    const auto clean = run(0.0);
+    const auto skewed = run(5.0);  // 5 ppm over 120 s = 0.6 ms of drift
+    EXPECT_NEAR(skewed.frequency.value, clean.frequency.value,
+                0.25 * clean.frequency.value + 1e-4);
+}
+
+TEST(BadabingAnalysis, LargeSkewShiftsDelaysVisibly) {
+    // 500 ppm over 120 s = 60 ms of drift -- on the order of the 100 ms
+    // buffer, so measured queueing delays are visibly corrupted (paper Sec 7:
+    // clock synchronization required).
+    scenarios::Experiment exp{testbed_cfg(), cbr_workload(3)};
+    auto cfg = tool_cfg(0.5);
+    cfg.receiver_clock_skew_ppm = 500.0;
+    auto& tool = exp.add_badabing(cfg);
+    exp.run();
+    const auto delays = core::summarize_delays(tool.outcomes());
+    ASSERT_TRUE(delays.valid());
+    // The true maximum queueing is ~100 ms; skew inflates the spread well
+    // beyond that.
+    EXPECT_GT(delays.max_queueing_s, 0.13);
+}
+
+TEST(BadabingAnalysis, ImprovedDesignValidationCountersPopulated) {
+    scenarios::Experiment exp{testbed_cfg(), cbr_workload(4, seconds_i(240))};
+    auto cfg = tool_cfg(0.5);
+    cfg.improved = true;
+    auto& tool = exp.add_badabing(cfg);
+    exp.run();
+    const auto res = tool.analyze(exp.default_marking(0.5));
+    EXPECT_GT(res.counts.extended_total(), 100u);
+    EXPECT_GT(res.counts.basic_total(), 100u);
+    // The fidelity-model violations (010/101) should be rare under drop-tail
+    // episodes longer than a slot.
+    EXPECT_LT(res.validation.violation_fraction, 0.05);
+}
+
+TEST(BadabingAnalysis, OfferedLoadScalesWithP) {
+    double prev = 0.0;
+    for (const double p : {0.1, 0.3, 0.5}) {
+        scenarios::Experiment exp{testbed_cfg(), cbr_workload(5)};
+        auto& tool = exp.add_badabing(tool_cfg(p));
+        exp.run();
+        const double load = tool.offered_load_fraction(10'000'000);
+        EXPECT_GT(load, prev);
+        prev = load;
+    }
+    // Overlapping experiments share probe slots, so the probed-slot fraction
+    // is 1 - (1-p)^2 = 0.75 at p = 0.5: 0.75 * 3 * 600 B / 5 ms = 2.16 Mb/s,
+    // i.e. ~21.6% of the 10 Mb/s link.
+    EXPECT_NEAR(prev, 0.216, 0.02);
+}
+
+TEST(BadabingAnalysis, PacketsLostAccountedAgainstProbesSent) {
+    scenarios::Experiment exp{testbed_cfg(), cbr_workload(6)};
+    auto& tool = exp.add_badabing(tool_cfg(0.5));
+    exp.run();
+    const auto res = tool.analyze(exp.default_marking(0.5));
+    EXPECT_LE(res.packets_lost, res.packets_sent);
+    EXPECT_GT(res.packets_lost, 0u) << "probes must see the engineered episodes";
+}
+
+TEST(BadabingAnalysis, PairsFromExtendedTightenDuration) {
+    scenarios::Experiment exp{testbed_cfg(), cbr_workload(7, seconds_i(240))};
+    auto cfg = tool_cfg(0.3);
+    cfg.improved = true;
+    auto& tool = exp.add_badabing(cfg);
+    exp.run();
+    core::EstimatorOptions plain;
+    core::EstimatorOptions with_pairs;
+    with_pairs.pairs_from_extended = true;
+    const auto a = tool.analyze(exp.default_marking(0.3), plain);
+    const auto b = tool.analyze(exp.default_marking(0.3), with_pairs);
+    ASSERT_TRUE(a.duration_basic.valid);
+    ASSERT_TRUE(b.duration_basic.valid);
+    EXPECT_GT(b.duration_basic.S, a.duration_basic.S)
+        << "folding extended pairs must add transition samples";
+}
+
+TEST(BadabingAnalysis, DesignIsReproducibleAcrossTools) {
+    scenarios::Experiment exp1{testbed_cfg(), cbr_workload(8)};
+    scenarios::Experiment exp2{testbed_cfg(), cbr_workload(8)};
+    auto& t1 = exp1.add_badabing(tool_cfg(0.3));
+    auto& t2 = exp2.add_badabing(tool_cfg(0.3));
+    ASSERT_EQ(t1.design().experiments.size(), t2.design().experiments.size());
+    for (std::size_t i = 0; i < t1.design().experiments.size(); ++i) {
+        EXPECT_EQ(t1.design().experiments[i].start_slot,
+                  t2.design().experiments[i].start_slot);
+    }
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,150 @@
+#include "probes/badabing.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/loss_monitor.h"
+#include "scenarios/experiment.h"
+#include "scenarios/testbed.h"
+#include "traffic/cbr.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Testbed;
+using scenarios::TestbedConfig;
+
+TestbedConfig testbed_cfg() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.prop_delay = milliseconds(20);
+    cfg.buffer_time = milliseconds(100);
+    return cfg;
+}
+
+probes::BadabingConfig tool_cfg(double p, TimeNs duration) {
+    probes::BadabingConfig cfg;
+    cfg.p = p;
+    cfg.total_slots = duration / cfg.slot_width;
+    return cfg;
+}
+
+TEST(Badabing, QuietPathReportsZeroFrequency) {
+    Testbed tb{testbed_cfg()};
+    const auto cfg = tool_cfg(0.3, seconds_i(30));
+    probes::BadabingTool tool{tb.sched(), cfg, tb.forward_in(), Rng{1}};
+    tb.fwd_demux().bind(cfg.flow, tool);
+    tb.sched().run_until(seconds_i(31));
+
+    const auto res = tool.analyze(core::MarkingConfig{});
+    EXPECT_DOUBLE_EQ(res.frequency.value, 0.0);
+    EXPECT_FALSE(res.duration_basic.valid);
+    EXPECT_EQ(res.packets_lost, 0u);
+    EXPECT_GT(res.probes_sent, 0u);
+}
+
+TEST(Badabing, ProbeCountMatchesDesign) {
+    Testbed tb{testbed_cfg()};
+    const auto cfg = tool_cfg(0.5, seconds_i(20));
+    probes::BadabingTool tool{tb.sched(), cfg, tb.forward_in(), Rng{2}};
+    tb.fwd_demux().bind(cfg.flow, tool);
+    tb.sched().run_until(seconds_i(21));
+    const auto res = tool.analyze(core::MarkingConfig{});
+    EXPECT_EQ(res.probes_sent, tool.design().probe_slots.size());
+    EXPECT_EQ(res.packets_sent, res.probes_sent * 3);
+    EXPECT_EQ(res.experiments, tool.design().experiments.size());
+}
+
+TEST(Badabing, DetectsEngineeredEpisodes) {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::cbr_uniform;
+    wl.duration = seconds_i(120);
+    wl.seed = 11;
+    wl.mean_episode_gap = seconds_i(5);
+    scenarios::Experiment exp{testbed_cfg(), wl};
+
+    auto& tool = exp.add_badabing(tool_cfg(0.5, wl.duration));
+    exp.run();
+
+    const auto truth = exp.truth();
+    ASSERT_GT(truth.episodes, 5u);
+
+    const auto res = tool.analyze(exp.default_marking(0.5));
+    EXPECT_GT(res.frequency.value, 0.0);
+    // Within a factor of ~2.5 of truth even on this short run.
+    EXPECT_NEAR(res.frequency.value, truth.frequency, 1.5 * truth.frequency);
+    ASSERT_TRUE(res.duration_basic.valid);
+    const double est_dur = res.duration_basic.seconds(milliseconds(5));
+    EXPECT_NEAR(est_dur, truth.mean_duration_s, 1.5 * truth.mean_duration_s + 0.01);
+}
+
+TEST(Badabing, OfferedLoadIsSmallFractionOfLink) {
+    Testbed tb{testbed_cfg()};
+    const auto cfg = tool_cfg(0.3, seconds_i(30));
+    probes::BadabingTool tool{tb.sched(), cfg, tb.forward_in(), Rng{3}};
+    tb.fwd_demux().bind(cfg.flow, tool);
+    tb.sched().run_until(seconds_i(31));
+    // p = 0.3: ~0.6 probes/slot * 3 pkts * 600 B / 5 ms = ~1.7 Mb/s on 10 Mb/s.
+    const double frac = tool.offered_load_fraction(tb.config().bottleneck_rate_bps);
+    EXPECT_GT(frac, 0.05);
+    EXPECT_LT(frac, 0.30);
+}
+
+TEST(Badabing, ClockOffsetDoesNotChangeEstimates) {
+    const auto run = [&](TimeNs offset) {
+        scenarios::WorkloadConfig wl;
+        wl.kind = scenarios::TrafficKind::cbr_uniform;
+        wl.duration = seconds_i(90);
+        wl.seed = 21;
+        wl.mean_episode_gap = seconds_i(5);
+        scenarios::Experiment exp{testbed_cfg(), wl};
+        auto cfg = tool_cfg(0.5, wl.duration);
+        cfg.receiver_clock_offset = offset;
+        auto& tool = exp.add_badabing(cfg);
+        exp.run();
+        return tool.analyze(exp.default_marking(0.5));
+    };
+    const auto a = run(TimeNs::zero());
+    const auto b = run(seconds_i(7));  // constant 7 s receiver clock offset
+    EXPECT_DOUBLE_EQ(a.frequency.value, b.frequency.value);
+    EXPECT_DOUBLE_EQ(a.duration_basic.slots, b.duration_basic.slots);
+}
+
+TEST(Badabing, ImprovedDesignProducesExtendedCounts) {
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::cbr_uniform;
+    wl.duration = seconds_i(120);
+    wl.seed = 31;
+    wl.mean_episode_gap = seconds_i(5);
+    scenarios::Experiment exp{testbed_cfg(), wl};
+    auto cfg = tool_cfg(0.5, wl.duration);
+    cfg.improved = true;
+    auto& tool = exp.add_badabing(cfg);
+    exp.run();
+    const auto res = tool.analyze(exp.default_marking(0.5));
+    EXPECT_GT(res.counts.extended_total(), 0u);
+    EXPECT_TRUE(res.duration_improved.valid);
+}
+
+TEST(FixedIntervalProber, EmitsOnSchedule) {
+    Testbed tb{testbed_cfg()};
+    probes::FixedIntervalProber::Config cfg;
+    cfg.interval = milliseconds(10);
+    cfg.packets_per_probe = 2;
+    cfg.stop = seconds_i(1);
+    probes::FixedIntervalProber prober{tb.sched(), cfg, tb.forward_in()};
+    tb.fwd_demux().bind(cfg.flow, prober);
+    tb.sched().run_until(seconds_i(2));
+    const auto out = prober.outcomes();
+    EXPECT_NEAR(static_cast<double>(out.size()), 100.0, 2.0);
+    for (const auto& po : out) {
+        EXPECT_EQ(po.packets_sent, 2);
+        EXPECT_EQ(po.packets_lost, 0);
+        EXPECT_TRUE(po.any_received);
+        // OWD = prop delay + transmission; roughly 20 ms here.
+        EXPECT_GT(po.max_owd, milliseconds(19));
+        EXPECT_LT(po.max_owd, milliseconds(25));
+    }
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,106 @@
+#include "core/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/probe_process.h"
+#include "core/synthetic.h"
+
+namespace bb::core {
+namespace {
+
+std::vector<ExperimentResult> synth_results(std::uint64_t seed, SlotIndex slots = 400'000) {
+    Rng rng{seed};
+    const auto series = synth_congestion_series(rng, slots, 14.0, 1986.0);
+    ProbeProcessConfig pcfg;
+    pcfg.p = 0.3;
+    const auto design = design_probe_process(rng, slots, pcfg);
+    return observe_with_fidelity(design.experiments, series, FidelityModel{1.0, 1.0}, rng);
+}
+
+TEST(Bootstrap, EmptyInputInvalid) {
+    Rng rng{1};
+    const auto res = bootstrap_estimates({}, BootstrapConfig{}, rng);
+    EXPECT_FALSE(res.frequency.valid);
+    EXPECT_FALSE(res.duration_slots.valid);
+}
+
+TEST(Bootstrap, PointEstimateMatchesDirectComputation) {
+    const auto results = synth_results(3);
+    StateCounts counts;
+    for (const auto& r : results) counts.add(r);
+    const double direct = estimate_frequency(counts).value;
+
+    Rng rng{2};
+    const auto res = bootstrap_estimates(results, BootstrapConfig{}, rng);
+    ASSERT_TRUE(res.frequency.valid);
+    EXPECT_DOUBLE_EQ(res.frequency.point, direct);
+}
+
+TEST(Bootstrap, IntervalsContainThePointEstimate) {
+    const auto results = synth_results(4);
+    Rng rng{5};
+    const auto res = bootstrap_estimates(results, BootstrapConfig{}, rng);
+    ASSERT_TRUE(res.frequency.valid);
+    EXPECT_LE(res.frequency.lo, res.frequency.point);
+    EXPECT_GE(res.frequency.hi, res.frequency.point);
+    ASSERT_TRUE(res.duration_slots.valid);
+    EXPECT_LE(res.duration_slots.lo, res.duration_slots.point * 1.05);
+    EXPECT_GE(res.duration_slots.hi, res.duration_slots.point * 0.95);
+    EXPECT_GT(res.frequency.std_error, 0.0);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+    const auto results = synth_results(6);
+    BootstrapConfig narrow;
+    narrow.confidence = 0.5;
+    narrow.replicates = 400;
+    BootstrapConfig wide = narrow;
+    wide.confidence = 0.99;
+    Rng rng1{7};
+    Rng rng2{7};
+    const auto res_narrow = bootstrap_estimates(results, narrow, rng1);
+    const auto res_wide = bootstrap_estimates(results, wide, rng2);
+    ASSERT_TRUE(res_narrow.frequency.valid);
+    ASSERT_TRUE(res_wide.frequency.valid);
+    EXPECT_GE(res_wide.frequency.hi - res_wide.frequency.lo,
+              res_narrow.frequency.hi - res_narrow.frequency.lo);
+}
+
+TEST(Bootstrap, MoreDataShrinksInterval) {
+    Rng rng1{8};
+    Rng rng2{8};
+    const auto small_res =
+        bootstrap_estimates(synth_results(9, 100'000), BootstrapConfig{}, rng1);
+    const auto large_res =
+        bootstrap_estimates(synth_results(9, 1'600'000), BootstrapConfig{}, rng2);
+    ASSERT_TRUE(small_res.frequency.valid);
+    ASSERT_TRUE(large_res.frequency.valid);
+    EXPECT_LT(large_res.frequency.hi - large_res.frequency.lo,
+              small_res.frequency.hi - small_res.frequency.lo);
+}
+
+TEST(Bootstrap, CoverageOfTrueFrequency) {
+    // Over several independent realizations, the 90% interval should contain
+    // the true frequency most of the time (loose check: >= 6 of 10).
+    int covered = 0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Rng rng{seed};
+        const SlotIndex slots = 400'000;
+        const auto series = synth_congestion_series(rng, slots, 14.0, 1986.0);
+        ProbeProcessConfig pcfg;
+        pcfg.p = 0.3;
+        const auto design = design_probe_process(rng, slots, pcfg);
+        const auto results =
+            observe_with_fidelity(design.experiments, series, FidelityModel{1.0, 1.0}, rng);
+        const double truth = series_truth(series).frequency;
+        Rng boot_rng{seed + 1000};
+        const auto res = bootstrap_estimates(results, BootstrapConfig{}, boot_rng);
+        if (res.frequency.valid && truth >= res.frequency.lo && truth <= res.frequency.hi) {
+            ++covered;
+        }
+    }
+    EXPECT_GE(covered, 6);
+}
+
+}  // namespace
+}  // namespace bb::core

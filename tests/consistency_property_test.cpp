@@ -1,0 +1,177 @@
+// Property-based verification of the paper's §5 consistency claims: on a
+// synthetic alternating-renewal congestion process observed through the
+// fidelity model, F̂ converges to the true congested-slot frequency and D̂ to
+// the true mean episode duration.  Parameterized sweeps cover probe rates,
+// episode shapes and fidelity regimes (including p1 != p2, where only the
+// improved estimator stays consistent).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/estimators.h"
+#include "core/probe_process.h"
+#include "core/synthetic.h"
+#include "core/validation.h"
+
+namespace bb::core {
+namespace {
+
+struct Sweep {
+    double p;              // probe process rate
+    double mean_on;        // true mean episode duration (slots)
+    double mean_off;       // true mean gap (slots)
+    double p1;             // fidelity for single-congested reports
+    double p2;             // fidelity for double-congested reports
+};
+
+class ConsistencySweep : public ::testing::TestWithParam<Sweep> {};
+
+constexpr SlotIndex kSlots = 2'000'000;
+
+struct RunOutput {
+    SeriesTruth truth;
+    FrequencyEstimate freq;
+    DurationEstimate dur_basic;
+    DurationEstimate dur_improved;
+    ValidationReport validation;
+};
+
+RunOutput run_once(const Sweep& sw, std::uint64_t seed) {
+    Rng rng{seed};
+    const auto series = synth_congestion_series(rng, kSlots, sw.mean_on, sw.mean_off);
+
+    ProbeProcessConfig pcfg;
+    pcfg.p = sw.p;
+    pcfg.improved = true;
+    const auto design = design_probe_process(rng, kSlots, pcfg);
+    const auto obs =
+        observe_with_fidelity(design.experiments, series, FidelityModel{sw.p1, sw.p2}, rng);
+
+    StateCounts counts;
+    for (const auto& r : obs) counts.add(r);
+
+    RunOutput out;
+    out.truth = series_truth(series);
+    out.freq = estimate_frequency(counts);
+    out.dur_basic = estimate_duration_basic(counts);
+    out.dur_improved = estimate_duration_improved(counts);
+    out.validation = validate(counts);
+    return out;
+}
+
+TEST_P(ConsistencySweep, FrequencyConvergesWhenReportsAreFaithful) {
+    const Sweep sw = GetParam();
+    if (sw.p1 < 1.0) GTEST_SKIP() << "frequency is only unbiased for p1 = 1";
+    const auto out = run_once(sw, 42);
+    ASSERT_TRUE(out.freq.valid());
+    EXPECT_NEAR(out.freq.value, out.truth.frequency, 0.15 * out.truth.frequency + 0.002);
+}
+
+TEST_P(ConsistencySweep, ImprovedDurationConverges) {
+    const Sweep sw = GetParam();
+    if (sw.mean_on < 5.0) {
+        // Paper §7: the discretization must be finer than the episode
+        // durations.  When single-slot episodes dominate, no {011,110}
+        // patterns exist for them, so U/V under-counts and the improved
+        // duration is biased; see ShortEpisodesBiasImprovedEstimator below.
+        GTEST_SKIP();
+    }
+    const auto out = run_once(sw, 43);
+    ASSERT_TRUE(out.dur_improved.valid);
+    EXPECT_NEAR(out.dur_improved.slots, out.truth.mean_duration_slots,
+                0.2 * out.truth.mean_duration_slots + 0.5);
+}
+
+TEST_P(ConsistencySweep, BasicDurationConvergesOnlyWhenREqualsOne) {
+    const Sweep sw = GetParam();
+    const auto out = run_once(sw, 44);
+    ASSERT_TRUE(out.dur_basic.valid);
+    if (std::abs(sw.p1 - sw.p2) < 1e-9) {
+        EXPECT_NEAR(out.dur_basic.slots, out.truth.mean_duration_slots,
+                    0.2 * out.truth.mean_duration_slots + 0.5);
+    } else if (sw.p2 < sw.p1) {
+        // Under-reported 11 states bias the basic estimator low.
+        EXPECT_LT(out.dur_basic.slots, out.truth.mean_duration_slots);
+    }
+}
+
+TEST_P(ConsistencySweep, RHatEstimatesFidelityRatio) {
+    const Sweep sw = GetParam();
+    const auto out = run_once(sw, 45);
+    ASSERT_TRUE(out.dur_improved.r_hat.has_value());
+    // For geometric episode lengths with mean m, single-slot episodes have
+    // no {011,110} windows, so E[U]/E[V] = (p2/p1) * P(len >= 2)
+    //                                   = (p2/p1) * (1 - 1/m).
+    const double expected = sw.p2 / sw.p1 * (1.0 - 1.0 / sw.mean_on);
+    EXPECT_NEAR(*out.dur_improved.r_hat, expected, 0.25 * expected);
+}
+
+// Documents (and pins down) the short-episode bias the paper's §7 warns
+// about: when episodes are of the order of one slot, the improved duration
+// estimator overshoots by a predictable factor while the basic estimator,
+// whose R/S ratio is insensitive to episode length, stays consistent.
+TEST(ShortEpisodes, BiasImprovedEstimatorButNotBasic) {
+    const Sweep sw{0.5, 2.0, 200.0, 1.0, 1.0};
+    const auto out = run_once(sw, 47);
+    ASSERT_TRUE(out.dur_basic.valid);
+    EXPECT_NEAR(out.dur_basic.slots, out.truth.mean_duration_slots, 0.3);
+    ASSERT_TRUE(out.dur_improved.valid);
+    // E[U]/E[V] = 1 - 1/2 = 0.5 -> improved estimate ~ 2*(R/S-1)/0.5 + 1 = 3.
+    EXPECT_NEAR(out.dur_improved.slots, 3.0, 0.4);
+}
+
+TEST_P(ConsistencySweep, ValidationSymmetryHoldsForRenewalProcess) {
+    const Sweep sw = GetParam();
+    const auto out = run_once(sw, 46);
+    EXPECT_LE(out.validation.pair_asymmetry, 0.2);
+    EXPECT_LE(out.validation.violation_fraction, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, ConsistencySweep,
+    ::testing::Values(Sweep{0.1, 14.0, 1990.0, 1.0, 1.0}, Sweep{0.3, 14.0, 1990.0, 1.0, 1.0},
+                      Sweep{0.5, 14.0, 1990.0, 1.0, 1.0}, Sweep{0.9, 14.0, 1990.0, 1.0, 1.0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    EpisodeShapes, ConsistencySweep,
+    ::testing::Values(Sweep{0.5, 2.0, 200.0, 1.0, 1.0},   // very short episodes
+                      Sweep{0.5, 30.0, 1000.0, 1.0, 1.0},  // long episodes
+                      Sweep{0.5, 10.0, 90.0, 1.0, 1.0}));  // frequent congestion
+
+INSTANTIATE_TEST_SUITE_P(
+    Fidelity, ConsistencySweep,
+    ::testing::Values(Sweep{0.5, 14.0, 500.0, 0.8, 0.8},   // r = 1, imperfect
+                      Sweep{0.5, 14.0, 500.0, 0.9, 0.6},   // r < 1: basic biased
+                      Sweep{0.5, 14.0, 500.0, 0.7, 0.7}));
+
+// F̂ is unbiased for any episode geometry; a direct check that the estimate
+// variance shrinks with the number of experiments (consistency).
+TEST(ConsistencyScaling, ErrorShrinksWithSampleSize) {
+    const Sweep sw{0.3, 14.0, 1990.0, 1.0, 1.0};
+    double err_small = 0.0;
+    double err_large = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        Rng rng_small{seed + 100};
+        Rng rng_large{seed + 200};
+        for (auto [slots, err] :
+             {std::pair<SlotIndex, double*>{30'000, &err_small}, {600'000, &err_large}}) {
+            Rng& rng = slots == 30'000 ? rng_small : rng_large;
+            const auto series = synth_congestion_series(rng, slots, sw.mean_on, sw.mean_off);
+            ProbeProcessConfig pcfg;
+            pcfg.p = sw.p;
+            const auto design = design_probe_process(rng, slots, pcfg);
+            const auto obs = observe_with_fidelity(design.experiments, series,
+                                                   FidelityModel{1.0, 1.0}, rng);
+            StateCounts counts;
+            for (const auto& r : obs) counts.add(r);
+            const auto truth = series_truth(series);
+            const auto f = estimate_frequency(counts);
+            *err += std::abs(f.value - truth.frequency);
+        }
+    }
+    EXPECT_LT(err_large, err_small);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,77 @@
+#include "core/delay_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::core {
+namespace {
+
+ProbeOutcome probe(TimeNs owd, bool lost, bool received = true) {
+    ProbeOutcome po;
+    po.packets_sent = 3;
+    po.packets_lost = lost ? 1 : 0;
+    po.max_owd = owd;
+    po.any_received = received;
+    return po;
+}
+
+TEST(DelayStats, EmptyInvalid) {
+    const auto s = summarize_delays({});
+    EXPECT_FALSE(s.valid());
+}
+
+TEST(DelayStats, AllLostInvalid) {
+    const auto s = summarize_delays({probe(TimeNs::zero(), true, false)});
+    EXPECT_FALSE(s.valid());
+}
+
+TEST(DelayStats, BaseDelayIsMinimum) {
+    const auto s = summarize_delays({
+        probe(milliseconds(52), false),
+        probe(milliseconds(50), false),
+        probe(milliseconds(80), false),
+    });
+    ASSERT_TRUE(s.valid());
+    EXPECT_EQ(s.base_delay, milliseconds(50));
+    EXPECT_EQ(s.samples, 3u);
+}
+
+TEST(DelayStats, QueueingIsRelativeToBase) {
+    const auto s = summarize_delays({
+        probe(milliseconds(50), false),
+        probe(milliseconds(60), false),
+        probe(milliseconds(150), false),
+    });
+    ASSERT_TRUE(s.valid());
+    EXPECT_NEAR(s.max_queueing_s, 0.100, 1e-9);
+    EXPECT_NEAR(s.mean_queueing_s, (0.0 + 0.010 + 0.100) / 3.0, 1e-9);
+    EXPECT_NEAR(s.p50_queueing_s, 0.010, 1e-9);
+}
+
+TEST(DelayStats, LossConditionalDelay) {
+    const auto s = summarize_delays({
+        probe(milliseconds(50), false),
+        probe(milliseconds(55), false),
+        probe(milliseconds(148), true),
+        probe(milliseconds(152), true),
+    });
+    ASSERT_TRUE(s.valid());
+    EXPECT_EQ(s.lossy_samples, 2u);
+    EXPECT_NEAR(s.loss_conditional_queueing_s, 0.100, 1e-9);
+}
+
+TEST(DelayStats, QuantilesOrdered) {
+    std::vector<ProbeOutcome> probes;
+    for (int i = 0; i <= 100; ++i) {
+        probes.push_back(probe(milliseconds(50 + i), false));
+    }
+    const auto s = summarize_delays(probes);
+    ASSERT_TRUE(s.valid());
+    EXPECT_LE(s.p50_queueing_s, s.p95_queueing_s);
+    EXPECT_LE(s.p95_queueing_s, s.p99_queueing_s);
+    EXPECT_LE(s.p99_queueing_s, s.max_queueing_s);
+    EXPECT_NEAR(s.p50_queueing_s, 0.050, 1e-9);
+    EXPECT_NEAR(s.p95_queueing_s, 0.095, 1e-9);
+}
+
+}  // namespace
+}  // namespace bb::core

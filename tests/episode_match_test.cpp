@@ -1,0 +1,85 @@
+#include "core/episode_match.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::core {
+namespace {
+
+SlotMark mark(SlotIndex slot, bool congested) {
+    SlotMark m;
+    m.slot = slot;
+    m.congested = congested;
+    return m;
+}
+
+TEST(EpisodeMatch, EmptyInputs) {
+    const auto rep = match_episodes({}, {});
+    EXPECT_EQ(rep.true_episodes, 0u);
+    EXPECT_EQ(rep.detected_episodes, 0u);
+    EXPECT_DOUBLE_EQ(rep.recall, 0.0);
+}
+
+TEST(EpisodeMatch, PerfectDetection) {
+    const std::vector<SlotInterval> truth{{10, 20}, {50, 60}};
+    std::vector<SlotMark> marks;
+    for (SlotIndex s = 10; s <= 20; ++s) marks.push_back(mark(s, true));
+    for (SlotIndex s = 50; s <= 60; ++s) marks.push_back(mark(s, true));
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_EQ(rep.detected_episodes, 2u);
+    EXPECT_DOUBLE_EQ(rep.recall, 1.0);
+    EXPECT_DOUBLE_EQ(rep.precision, 1.0);
+    EXPECT_DOUBLE_EQ(rep.mean_onset_error_slots, 0.0);
+}
+
+TEST(EpisodeMatch, MissedEpisodeLowersRecall) {
+    const std::vector<SlotInterval> truth{{10, 20}, {50, 60}};
+    const std::vector<SlotMark> marks{mark(12, true), mark(55, false)};
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_EQ(rep.detected_episodes, 1u);
+    EXPECT_EQ(rep.probed_episodes, 2u);
+    EXPECT_DOUBLE_EQ(rep.recall, 0.5);
+    EXPECT_DOUBLE_EQ(rep.probed_recall, 0.5);
+}
+
+TEST(EpisodeMatch, UnprobedEpisodeCountsAgainstRecallNotProbedRecall) {
+    const std::vector<SlotInterval> truth{{10, 20}, {50, 60}};
+    const std::vector<SlotMark> marks{mark(12, true)};  // slots 50-60 never probed
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_EQ(rep.probed_episodes, 1u);
+    EXPECT_DOUBLE_EQ(rep.recall, 0.5);
+    EXPECT_DOUBLE_EQ(rep.probed_recall, 1.0);
+}
+
+TEST(EpisodeMatch, FalseMarksLowerPrecision) {
+    const std::vector<SlotInterval> truth{{10, 20}};
+    const std::vector<SlotMark> marks{mark(15, true), mark(100, true), mark(101, true)};
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_EQ(rep.marked_slots, 3u);
+    EXPECT_EQ(rep.marked_slots_in_episodes, 1u);
+    EXPECT_NEAR(rep.precision, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EpisodeMatch, OnsetErrorMeasuresFirstCongestedMark) {
+    const std::vector<SlotInterval> truth{{10, 30}};
+    const std::vector<SlotMark> marks{mark(14, true), mark(20, true)};
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_DOUBLE_EQ(rep.mean_onset_error_slots, 4.0);
+}
+
+TEST(EpisodeMatch, UnsortedMarksHandled) {
+    const std::vector<SlotInterval> truth{{10, 20}};
+    const std::vector<SlotMark> marks{mark(18, true), mark(11, true)};
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_EQ(rep.detected_episodes, 1u);
+    EXPECT_DOUBLE_EQ(rep.mean_onset_error_slots, 1.0);
+}
+
+TEST(EpisodeMatch, BoundarySlotsCountAsInside) {
+    const std::vector<SlotInterval> truth{{10, 20}};
+    const std::vector<SlotMark> marks{mark(10, true), mark(20, true), mark(21, true)};
+    const auto rep = match_episodes(marks, truth);
+    EXPECT_EQ(rep.marked_slots_in_episodes, 2u);
+}
+
+}  // namespace
+}  // namespace bb::core

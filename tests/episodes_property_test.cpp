@@ -1,0 +1,120 @@
+// Property-based tests for loss-episode extraction: invariants that must
+// hold for arbitrary drop patterns, checked over randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "measure/episodes.h"
+#include "util/rng.h"
+
+namespace bb::measure {
+namespace {
+
+struct FuzzParams {
+    std::uint64_t seed;
+    int drops;
+    double spread_s;  // drops uniform over [0, spread]
+    std::int64_t gap_ms;
+};
+
+class EpisodeFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+std::vector<TimeNs> random_drops(const FuzzParams& p) {
+    Rng rng{p.seed};
+    std::vector<TimeNs> drops;
+    drops.reserve(static_cast<std::size_t>(p.drops));
+    for (int i = 0; i < p.drops; ++i) {
+        drops.push_back(seconds(rng.uniform(0.0, p.spread_s)));
+    }
+    std::sort(drops.begin(), drops.end());
+    return drops;
+}
+
+TEST_P(EpisodeFuzz, EpisodesPartitionDrops) {
+    const auto drops = random_drops(GetParam());
+    const TimeNs gap = milliseconds(GetParam().gap_ms);
+    const auto eps = extract_episodes(drops, gap);
+    std::uint64_t covered = 0;
+    for (const auto& e : eps) covered += e.drops;
+    EXPECT_EQ(covered, drops.size());
+}
+
+TEST_P(EpisodeFuzz, EpisodesAreOrderedAndSeparatedByGap) {
+    const auto drops = random_drops(GetParam());
+    const TimeNs gap = milliseconds(GetParam().gap_ms);
+    const auto eps = extract_episodes(drops, gap);
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+        EXPECT_LE(eps[i].start, eps[i].end);
+        if (i > 0) {
+            EXPECT_GT(eps[i].start - eps[i - 1].end, gap)
+                << "adjacent episodes must be separated by more than the gap";
+        }
+    }
+}
+
+TEST_P(EpisodeFuzz, EveryDropFallsInsideSomeEpisode) {
+    const auto drops = random_drops(GetParam());
+    const TimeNs gap = milliseconds(GetParam().gap_ms);
+    const auto eps = extract_episodes(drops, gap);
+    for (const TimeNs d : drops) {
+        const bool inside = std::any_of(eps.begin(), eps.end(), [d](const LossEpisode& e) {
+            return d >= e.start && d <= e.end;
+        });
+        EXPECT_TRUE(inside);
+    }
+}
+
+TEST_P(EpisodeFuzz, LargerGapNeverIncreasesEpisodeCount) {
+    const auto drops = random_drops(GetParam());
+    const TimeNs gap = milliseconds(GetParam().gap_ms);
+    const auto fine = extract_episodes(drops, gap);
+    const auto coarse = extract_episodes(drops, gap * 4);
+    EXPECT_LE(coarse.size(), fine.size());
+}
+
+TEST_P(EpisodeFuzz, FrequencyWithinUnitIntervalAndConsistentWithSlots) {
+    const auto drops = random_drops(GetParam());
+    const TimeNs gap = milliseconds(GetParam().gap_ms);
+    const auto eps = extract_episodes(drops, gap);
+    const TimeNs window = seconds(GetParam().spread_s) + seconds_i(1);
+    const auto truth = summarize_truth(eps, milliseconds(5), TimeNs::zero(), window);
+    EXPECT_GE(truth.frequency, 0.0);
+    EXPECT_LE(truth.frequency, 1.0);
+
+    const auto slots = congestion_slots(eps, milliseconds(5), TimeNs::zero(), window);
+    const auto marked = static_cast<double>(std::count(slots.begin(), slots.end(), true));
+    EXPECT_NEAR(truth.frequency, marked / static_cast<double>(slots.size()), 1e-12);
+}
+
+TEST_P(EpisodeFuzz, DelayBasedNeverSplitsFurther) {
+    const auto drops = random_drops(GetParam());
+    const TimeNs gap = milliseconds(GetParam().gap_ms);
+    Rng rng{GetParam().seed ^ 0xD};
+    // Random departures with random queueing delays between drops.
+    std::vector<DelayedDeparture> deps;
+    for (int i = 0; i < 200; ++i) {
+        deps.push_back({seconds(rng.uniform(0.0, GetParam().spread_s)),
+                        milliseconds(rng.uniform_int(0, 100))});
+    }
+    std::sort(deps.begin(), deps.end(),
+              [](const DelayedDeparture& a, const DelayedDeparture& b) { return a.at < b.at; });
+    const auto plain = extract_episodes(drops, gap);
+    const auto merged = extract_episodes_delay_based(drops, deps, milliseconds(90), gap);
+    EXPECT_LE(merged.size(), plain.size());
+    std::uint64_t covered = 0;
+    for (const auto& e : merged) covered += e.drops;
+    EXPECT_EQ(covered, drops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EpisodeFuzz,
+                         ::testing::Values(FuzzParams{1, 0, 10.0, 100},
+                                           FuzzParams{2, 1, 10.0, 100},
+                                           FuzzParams{3, 50, 10.0, 100},
+                                           FuzzParams{4, 500, 10.0, 100},
+                                           FuzzParams{5, 500, 1.0, 100},   // dense
+                                           FuzzParams{6, 500, 1000.0, 100},  // sparse
+                                           FuzzParams{7, 200, 10.0, 5},
+                                           FuzzParams{8, 200, 10.0, 2000}));
+
+}  // namespace
+}  // namespace bb::measure

@@ -1,0 +1,139 @@
+#include "measure/episodes.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::measure {
+namespace {
+
+std::vector<TimeNs> times_ms(std::initializer_list<std::int64_t> ms) {
+    std::vector<TimeNs> out;
+    for (auto m : ms) out.push_back(milliseconds(m));
+    return out;
+}
+
+TEST(ExtractEpisodes, EmptyInput) {
+    EXPECT_TRUE(extract_episodes({}, milliseconds(100)).empty());
+}
+
+TEST(ExtractEpisodes, SingleDropIsZeroLengthEpisode) {
+    const auto eps = extract_episodes(times_ms({500}), milliseconds(100));
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_EQ(eps[0].start, milliseconds(500));
+    EXPECT_EQ(eps[0].end, milliseconds(500));
+    EXPECT_EQ(eps[0].drops, 1u);
+    EXPECT_EQ(eps[0].duration(), TimeNs::zero());
+}
+
+TEST(ExtractEpisodes, ClustersWithinGap) {
+    const auto eps = extract_episodes(times_ms({100, 150, 190, 1000, 1050}), milliseconds(100));
+    ASSERT_EQ(eps.size(), 2u);
+    EXPECT_EQ(eps[0].start, milliseconds(100));
+    EXPECT_EQ(eps[0].end, milliseconds(190));
+    EXPECT_EQ(eps[0].drops, 3u);
+    EXPECT_EQ(eps[1].start, milliseconds(1000));
+    EXPECT_EQ(eps[1].drops, 2u);
+}
+
+TEST(ExtractEpisodes, GapBoundaryIsInclusive) {
+    // Exactly `gap` apart stays one episode; just over splits.
+    auto eps = extract_episodes(times_ms({0, 100}), milliseconds(100));
+    EXPECT_EQ(eps.size(), 1u);
+    eps = extract_episodes(times_ms({0, 101}), milliseconds(100));
+    EXPECT_EQ(eps.size(), 2u);
+}
+
+TEST(ExtractEpisodes, ChainedDropsExtendEpisode) {
+    // Consecutive drops each within gap of the previous one chain together
+    // even if the total span exceeds the gap.
+    const auto eps = extract_episodes(times_ms({0, 80, 160, 240}), milliseconds(100));
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_EQ(eps[0].duration(), milliseconds(240));
+}
+
+TEST(SummarizeTruth, FrequencyCountsCongestedSlots) {
+    // One 68 ms episode in a 10 s window with 5 ms slots: 14 slots out of 2000.
+    std::vector<LossEpisode> eps{{seconds_i(1), seconds_i(1) + milliseconds(68), 10}};
+    const auto t = summarize_truth(eps, milliseconds(5), TimeNs::zero(), seconds_i(10));
+    EXPECT_EQ(t.episodes, 1u);
+    EXPECT_NEAR(t.frequency, 14.0 / 2000.0, 1e-9);
+    EXPECT_NEAR(t.mean_duration_s, 0.068, 1e-9);
+    EXPECT_EQ(t.total_drops, 10u);
+}
+
+TEST(SummarizeTruth, MultipleEpisodesDurationStats) {
+    std::vector<LossEpisode> eps{
+        {seconds_i(1), seconds_i(1) + milliseconds(50), 5},
+        {seconds_i(5), seconds_i(5) + milliseconds(150), 5},
+    };
+    const auto t = summarize_truth(eps, milliseconds(5), TimeNs::zero(), seconds_i(10));
+    EXPECT_EQ(t.episodes, 2u);
+    EXPECT_NEAR(t.mean_duration_s, 0.1, 1e-9);
+    EXPECT_NEAR(t.sd_duration_s, 0.0707, 1e-3);
+}
+
+TEST(SummarizeTruth, EpisodesOutsideWindowIgnored) {
+    std::vector<LossEpisode> eps{{seconds_i(20), seconds_i(21), 3}};
+    const auto t = summarize_truth(eps, milliseconds(5), TimeNs::zero(), seconds_i(10));
+    EXPECT_EQ(t.episodes, 0u);
+    EXPECT_DOUBLE_EQ(t.frequency, 0.0);
+}
+
+TEST(SummarizeTruth, EpisodeClippedToWindow) {
+    std::vector<LossEpisode> eps{{seconds_i(9), seconds_i(12), 3}};
+    const auto t = summarize_truth(eps, seconds_i(1), TimeNs::zero(), seconds_i(10));
+    // Slots 9 only (window has 10 slots, episode covers slot 9 onward).
+    EXPECT_NEAR(t.frequency, 0.1, 1e-9);
+}
+
+TEST(SummarizeTruth, DegenerateWindow) {
+    const auto t = summarize_truth({}, milliseconds(5), seconds_i(5), seconds_i(5));
+    EXPECT_DOUBLE_EQ(t.frequency, 0.0);
+    EXPECT_EQ(t.episodes, 0u);
+}
+
+TEST(CongestionSlots, MarksOverlappingSlots) {
+    std::vector<LossEpisode> eps{{milliseconds(7), milliseconds(13), 2}};
+    const auto slots = congestion_slots(eps, milliseconds(5), TimeNs::zero(), milliseconds(25));
+    ASSERT_EQ(slots.size(), 5u);
+    EXPECT_FALSE(slots[0]);  // [0,5)
+    EXPECT_TRUE(slots[1]);   // [5,10) contains 7
+    EXPECT_TRUE(slots[2]);   // [10,15) contains 13
+    EXPECT_FALSE(slots[3]);
+    EXPECT_FALSE(slots[4]);
+}
+
+TEST(DelayBasedEpisodes, MergesClustersWhenQueueStaysFull) {
+    // Two drop clusters 300 ms apart with a 100 ms gap rule would normally
+    // split; departures in between all above the floor merge them.
+    const auto drops = times_ms({1000, 1300});
+    std::vector<DelayedDeparture> deps{
+        {milliseconds(1100), milliseconds(95)},
+        {milliseconds(1200), milliseconds(92)},
+    };
+    const auto eps =
+        extract_episodes_delay_based(drops, deps, milliseconds(90), milliseconds(100));
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_EQ(eps[0].start, milliseconds(1000));
+    EXPECT_EQ(eps[0].end, milliseconds(1300));
+    EXPECT_EQ(eps[0].drops, 2u);
+}
+
+TEST(DelayBasedEpisodes, DoesNotMergeWhenQueueDrained) {
+    const auto drops = times_ms({1000, 1300});
+    std::vector<DelayedDeparture> deps{
+        {milliseconds(1100), milliseconds(95)},
+        {milliseconds(1200), milliseconds(20)},  // queue drained
+    };
+    const auto eps =
+        extract_episodes_delay_based(drops, deps, milliseconds(90), milliseconds(100));
+    EXPECT_EQ(eps.size(), 2u);
+}
+
+TEST(DelayBasedEpisodes, NoDeparturesBetweenMeansNoMerge) {
+    const auto drops = times_ms({1000, 1300});
+    const auto eps = extract_episodes_delay_based(drops, {}, milliseconds(90), milliseconds(100));
+    EXPECT_EQ(eps.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bb::measure

@@ -1,0 +1,109 @@
+// The shared experiment driver used by every bench and example.
+#include <gtest/gtest.h>
+
+#include "scenarios/experiment.h"
+
+namespace bb::scenarios {
+namespace {
+
+TestbedConfig fast_testbed() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    return cfg;
+}
+
+TEST(ExperimentDriver, AutoAssignsDistinctProbeFlows) {
+    WorkloadConfig wl;
+    wl.duration = seconds_i(10);
+    Experiment exp{fast_testbed(), wl};
+    probes::ZingProber::Config zc;
+    zc.flow = 0;  // auto
+    auto& z1 = exp.add_zing(zc);
+    auto& z2 = exp.add_zing(zc);
+    probes::BadabingConfig bc;
+    bc.flow = 0;
+    bc.total_slots = 0;
+    auto& b = exp.add_badabing(bc);
+    exp.run();
+    // All three tools must receive their own probes (no cross-talk): every
+    // probe a tool sent is either received by it or genuinely dropped at the
+    // bottleneck -- nothing is swallowed by a wrong binding.
+    EXPECT_GT(z1.result().received, 0u);
+    EXPECT_GT(z2.result().received, 0u);
+    const auto res = b.analyze(core::MarkingConfig{});
+    EXPECT_GT(res.probes_sent, 0u);
+    const std::uint64_t bb_received = res.packets_sent - res.packets_lost;
+    const std::uint64_t total_received =
+        z1.result().received + z2.result().received + bb_received;
+    const std::uint64_t total_sent =
+        z1.result().sent + z2.result().sent + res.packets_sent;
+    const std::uint64_t dropped = exp.monitor().probe_drops();
+    EXPECT_EQ(total_received + dropped, total_sent);
+}
+
+TEST(ExperimentDriver, BadabingWindowSizedToWorkload) {
+    WorkloadConfig wl;
+    wl.duration = seconds_i(30);
+    Experiment exp{fast_testbed(), wl};
+    probes::BadabingConfig bc;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+    // 30 s / 5 ms = 6000 slots; the last probe slot must be inside.
+    EXPECT_LT(tool.design().probe_slots.back(), 6000);
+}
+
+TEST(ExperimentDriver, ZingStopsAtWorkloadEnd) {
+    WorkloadConfig wl;
+    wl.duration = seconds_i(20);
+    Experiment exp{fast_testbed(), wl};
+    probes::ZingProber::Config zc;
+    zc.mean_interval = milliseconds(50);
+    auto& zing = exp.add_zing(zc);
+    exp.run();
+    // ~400 probes expected for 20 s at 20 Hz; hard bound at 150% allows
+    // Poisson variation but catches a runaway prober.
+    EXPECT_LT(zing.probes_sent(), 600u);
+    EXPECT_GT(zing.probes_sent(), 200u);
+}
+
+TEST(ExperimentDriver, TruthUsesDelayBasedHeuristicWhenConfigured) {
+    WorkloadConfig wl;
+    wl.kind = TrafficKind::cbr_uniform;
+    wl.duration = seconds_i(60);
+    wl.mean_episode_gap = seconds_i(5);
+    TruthConfig tc;
+    tc.delay_based = true;
+    Experiment exp{fast_testbed(), wl, tc};
+    exp.run();
+    // Both extraction paths must agree on the total drop mass.
+    const auto delay_eps = exp.episodes();
+    const auto gap_eps = exp.monitor().episodes(tc.episode_gap);
+    std::uint64_t delay_drops = 0;
+    std::uint64_t gap_drops = 0;
+    for (const auto& e : delay_eps) delay_drops += e.drops;
+    for (const auto& e : gap_eps) gap_drops += e.drops;
+    EXPECT_EQ(delay_drops, gap_drops);
+    EXPECT_LE(delay_eps.size(), gap_eps.size());
+}
+
+TEST(ExperimentDriver, TauRuleMatchesFormula) {
+    WorkloadConfig wl;
+    wl.duration = seconds_i(1);
+    Experiment exp{fast_testbed(), wl};
+    // p = 0.5: mean gap 2 slots, sd sqrt(0.5)/0.5 = 1.414 slots; tau =
+    // 3.414 * 5 ms.
+    EXPECT_NEAR(exp.default_marking(0.5).tau.to_millis(), 17.07, 0.05);
+    EXPECT_NEAR(tau_for_probe_rate(1.0, milliseconds(5)).to_millis(), 5.0, 1e-9);
+}
+
+TEST(ExperimentDriver, RunIncludesDrainMargin) {
+    WorkloadConfig wl;
+    wl.duration = seconds_i(5);
+    Experiment exp{fast_testbed(), wl};
+    exp.run();
+    EXPECT_GE(exp.testbed().sched().now(), seconds_i(7));
+}
+
+}  // namespace
+}  // namespace bb::scenarios

@@ -1,0 +1,158 @@
+// Router, address stamping and the full Figure 3 topology.
+#include <gtest/gtest.h>
+
+#include "measure/loss_monitor.h"
+#include "scenarios/experiment.h"
+#include "scenarios/figure3.h"
+#include "sim/router.h"
+#include "traffic/cbr.h"
+#include "traffic/episodic.h"
+
+namespace bb {
+namespace {
+
+TEST(Router, RoutesByDestination) {
+    sim::Router router;
+    sim::CountingSink a;
+    sim::CountingSink b;
+    sim::CountingSink dflt;
+    router.add_route(1, a);
+    router.add_route(2, b);
+    router.set_default_route(dflt);
+
+    sim::Packet p;
+    p.dst_addr = 1;
+    router.accept(p);
+    p.dst_addr = 2;
+    router.accept(p);
+    router.accept(p);
+    p.dst_addr = 99;
+    router.accept(p);
+
+    EXPECT_EQ(a.packets(), 1u);
+    EXPECT_EQ(b.packets(), 2u);
+    EXPECT_EQ(dflt.packets(), 1u);
+    EXPECT_EQ(router.forwarded(), 4u);
+    EXPECT_EQ(router.unroutable(), 0u);
+}
+
+TEST(Router, CountsUnroutableWithoutDefault) {
+    sim::Router router;
+    sim::Packet p;
+    p.dst_addr = 7;
+    router.accept(p);
+    EXPECT_EQ(router.unroutable(), 1u);
+    EXPECT_EQ(router.forwarded(), 0u);
+}
+
+TEST(AddressStamper, StampsWithoutMutatingOriginal) {
+    sim::CountingSink sink;
+    sim::AddressStamper stamper{5, 9, sink};
+    sim::Packet p;
+    p.id = 1;
+    stamper.accept(p);
+    EXPECT_EQ(sink.last().src_addr, 5u);
+    EXPECT_EQ(sink.last().dst_addr, 9u);
+    EXPECT_EQ(p.src_addr, 0u);
+}
+
+TEST(Figure3, TrafficAndProbesTakeSeparateHopBPaths) {
+    scenarios::Figure3Testbed tb;
+    sim::CountingSink cross_sink;
+    sim::CountingSink probe_sink;
+    tb.traffic_receiver().bind(1, cross_sink);
+    tb.probe_receiver().bind(2, probe_sink);
+
+    sim::Packet cross;
+    cross.id = 1;
+    cross.flow = 1;
+    cross.size_bytes = 1000;
+    sim::Packet probe;
+    probe.id = 2;
+    probe.flow = 2;
+    probe.kind = sim::PacketKind::probe;
+    probe.size_bytes = 600;
+
+    tb.sched().schedule_at(TimeNs::zero(), [&] {
+        tb.traffic_sender_in().accept(cross);
+        tb.probe_sender_in().accept(probe);
+    });
+    tb.sched().run();
+
+    EXPECT_EQ(cross_sink.packets(), 1u);
+    EXPECT_EQ(probe_sink.packets(), 1u);
+    EXPECT_EQ(tb.hop_b_traffic().departures(), 1u);
+    EXPECT_EQ(tb.hop_b_probe().departures(), 1u);
+    EXPECT_EQ(tb.bottleneck().departures(), 2u) << "both multiplex at hop C";
+    EXPECT_EQ(tb.hop_d().forwarded(), 2u);
+    EXPECT_EQ(tb.hop_d().unroutable(), 0u);
+}
+
+TEST(Figure3, EndToEndDelayMatchesPathComponents) {
+    scenarios::Figure3Testbed tb;
+    sim::CountingSink sink;
+    tb.traffic_receiver().bind(1, sink);
+    std::vector<double> arrival_ms;
+    class Recorder final : public sim::PacketSink {
+    public:
+        Recorder(sim::Scheduler& s, std::vector<double>& v) : s_{&s}, v_{&v} {}
+        void accept(const sim::Packet&) override { v_->push_back(s_->now().to_millis()); }
+
+    private:
+        sim::Scheduler* s_;
+        std::vector<double>* v_;
+    } rec{tb.sched(), arrival_ms};
+    tb.traffic_receiver().bind(2, rec);
+
+    sim::Packet p;
+    p.id = 1;
+    p.flow = 2;
+    p.size_bytes = 1500;
+    tb.sched().schedule_at(TimeNs::zero(), [&] { tb.traffic_sender_in().accept(p); });
+    tb.sched().run();
+    ASSERT_EQ(arrival_ms.size(), 1u);
+    // OC12 tx (0.1 ms) + GE delay (0.05) + OC3 tx (0.4) + 50 ms emulator +
+    // GE (0.05) ~ 50.6 ms.
+    EXPECT_NEAR(arrival_ms[0], 50.6, 0.3);
+}
+
+TEST(Figure3, LossProcessMatchesCollapsedDumbbell) {
+    // The central calibration claim: only hop C congests, so the episode
+    // process on the full Figure 3 path equals the simple Testbed's.
+    const TimeNs horizon = seconds_i(120);
+
+    // Full topology run.
+    scenarios::Figure3Testbed f3;
+    measure::LossMonitor f3_mon{f3.sched(), f3.bottleneck()};
+    traffic::EpisodicBurstSource::Config burst;
+    burst.episode_durations = {milliseconds(68)};
+    burst.mean_gap = seconds_i(8);
+    burst.bottleneck_rate_bps = f3.config().oc3_rate_bps;
+    burst.bottleneck_capacity_bytes = f3.bottleneck().capacity_bytes();
+    burst.background_load = 0.0;
+    burst.stop = horizon;
+    traffic::EpisodicBurstSource f3_bursts{f3.sched(), burst, f3.traffic_sender_in(), Rng{9}};
+    f3.sched().run_until(horizon + seconds_i(2));
+    const auto f3_truth = measure::summarize_truth(f3_mon.episodes(milliseconds(100)),
+                                                   milliseconds(5), TimeNs::zero(), horizon);
+
+    // Collapsed dumbbell run with the same seed and parameters.
+    scenarios::TestbedConfig tb_cfg;
+    tb_cfg.bottleneck_rate_bps = f3.config().oc3_rate_bps;
+    scenarios::Testbed tb{tb_cfg};
+    measure::LossMonitor tb_mon{tb.sched(), tb.bottleneck()};
+    burst.bottleneck_capacity_bytes = tb.bottleneck().capacity_bytes();
+    traffic::EpisodicBurstSource tb_bursts{tb.sched(), burst, tb.forward_in(), Rng{9}};
+    tb.sched().run_until(horizon + seconds_i(2));
+    const auto tb_truth = measure::summarize_truth(tb_mon.episodes(milliseconds(100)),
+                                                   milliseconds(5), TimeNs::zero(), horizon);
+
+    ASSERT_GT(f3_truth.episodes, 5u);
+    EXPECT_EQ(f3_truth.episodes, tb_truth.episodes);
+    EXPECT_NEAR(f3_truth.mean_duration_s, tb_truth.mean_duration_s, 0.01);
+    EXPECT_NEAR(f3_truth.frequency, tb_truth.frequency, 0.1 * tb_truth.frequency + 1e-4);
+    EXPECT_EQ(f3.hop_b_traffic().drops(), 0u) << "hop B must never congest";
+}
+
+}  // namespace
+}  // namespace bb

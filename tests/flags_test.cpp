@@ -1,0 +1,123 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+    std::vector<const char*> v{"prog"};
+    v.insert(v.end(), args.begin(), args.end());
+    return v;
+}
+
+TEST(Flags, DefaultsWhenNotSet) {
+    FlagSet flags{"t", "test"};
+    const auto* s = flags.add_string("name", "dflt", "h");
+    const auto* d = flags.add_double("ratio", 0.5, "h");
+    const auto* i = flags.add_int("count", 7, "h");
+    const auto* b = flags.add_bool("verbose", false, "h");
+    const auto args = argv_of({});
+    ASSERT_TRUE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EQ(*s, "dflt");
+    EXPECT_DOUBLE_EQ(*d, 0.5);
+    EXPECT_EQ(*i, 7);
+    EXPECT_FALSE(*b);
+    EXPECT_FALSE(flags.is_set("name"));
+}
+
+TEST(Flags, EqualsSyntax) {
+    FlagSet flags{"t", "test"};
+    const auto* s = flags.add_string("name", "", "h");
+    const auto* d = flags.add_double("ratio", 0.0, "h");
+    const auto args = argv_of({"--name=abc", "--ratio=0.25"});
+    ASSERT_TRUE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EQ(*s, "abc");
+    EXPECT_DOUBLE_EQ(*d, 0.25);
+    EXPECT_TRUE(flags.is_set("name"));
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+    FlagSet flags{"t", "test"};
+    const auto* i = flags.add_int("count", 0, "h");
+    const auto args = argv_of({"--count", "42"});
+    ASSERT_TRUE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EQ(*i, 42);
+}
+
+TEST(Flags, BareBooleanMeansTrue) {
+    FlagSet flags{"t", "test"};
+    const auto* b = flags.add_bool("verbose", false, "h");
+    const auto args = argv_of({"--verbose"});
+    ASSERT_TRUE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_TRUE(*b);
+}
+
+TEST(Flags, BooleanExplicitValues) {
+    FlagSet flags{"t", "test"};
+    const auto* b = flags.add_bool("verbose", true, "h");
+    const auto args = argv_of({"--verbose=false"});
+    ASSERT_TRUE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_FALSE(*b);
+}
+
+TEST(Flags, NegativeNumbers) {
+    FlagSet flags{"t", "test"};
+    const auto* i = flags.add_int("n", 0, "h");
+    const auto* d = flags.add_double("x", 0.0, "h");
+    const auto args = argv_of({"--n=-3", "--x=-1.5"});
+    ASSERT_TRUE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_EQ(*i, -3);
+    EXPECT_DOUBLE_EQ(*d, -1.5);
+}
+
+TEST(Flags, UnknownFlagFails) {
+    FlagSet flags{"t", "test"};
+    const auto args = argv_of({"--bogus=1"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_FALSE(flags.error().empty());
+}
+
+TEST(Flags, PositionalArgumentFails) {
+    FlagSet flags{"t", "test"};
+    const auto args = argv_of({"stray"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Flags, MissingValueFails) {
+    FlagSet flags{"t", "test"};
+    (void)flags.add_int("count", 0, "h");
+    const auto args = argv_of({"--count"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Flags, MalformedNumberFails) {
+    FlagSet flags{"t", "test"};
+    (void)flags.add_int("count", 0, "h");
+    const auto args = argv_of({"--count=abc"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Flags, MalformedDoubleFails) {
+    FlagSet flags{"t", "test"};
+    (void)flags.add_double("x", 0.0, "h");
+    const auto args = argv_of({"--x=1.5zzz"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Flags, MalformedBoolFails) {
+    FlagSet flags{"t", "test"};
+    (void)flags.add_bool("b", false, "h");
+    const auto args = argv_of({"--b=maybe"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+}
+
+TEST(Flags, HelpReturnsFalseWithoutError) {
+    FlagSet flags{"t", "test"};
+    const auto args = argv_of({"--help"});
+    EXPECT_FALSE(flags.parse(static_cast<int>(args.size()), args.data()));
+    EXPECT_TRUE(flags.error().empty());
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,189 @@
+// The paper's headline comparisons, encoded as assertions on short runs so
+// the reproduction's *shape* claims (EXPERIMENTS.md) are continuously
+// checked, not just printed by the benches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "scenarios/experiment.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Experiment;
+using scenarios::TestbedConfig;
+using scenarios::TrafficKind;
+using scenarios::WorkloadConfig;
+
+TestbedConfig testbed() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 20'000'000;
+    return cfg;
+}
+
+WorkloadConfig cbr_workload() {
+    WorkloadConfig wl;
+    wl.kind = TrafficKind::cbr_uniform;
+    wl.duration = seconds_i(300);
+    wl.seed = 12;
+    wl.mean_episode_gap = seconds_i(6);
+    return wl;
+}
+
+double rel_err(double est, double truth) {
+    return truth > 0 ? std::abs(est - truth) / truth : 0.0;
+}
+
+TEST(Headline, BadabingBeatsZingOnFrequencyAtMatchedRate) {
+    // Table 8's core claim.
+    const auto wl = cbr_workload();
+
+    Experiment bb_exp{testbed(), wl};
+    probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = 0;
+    auto& tool = bb_exp.add_badabing(bc);
+    bb_exp.run();
+    const auto bb_truth = bb_exp.truth();
+    const auto bb_res = tool.analyze(bb_exp.default_marking(0.3));
+
+    Experiment z_exp{testbed(), wl};
+    probes::ZingProber::Config zc;
+    zc.packet_bytes = 600;
+    zc.mean_interval = seconds(1.0 / (0.3 * 2.0 * 3.0 / 0.005));
+    auto& zing = z_exp.add_zing(zc);
+    z_exp.run();
+    const auto z_truth = z_exp.truth();
+    const auto z_res = zing.result();
+
+    EXPECT_LT(rel_err(bb_res.frequency.value, bb_truth.frequency),
+              rel_err(z_res.loss_frequency, z_truth.frequency))
+        << "BADABING must estimate episode frequency better than ZING";
+}
+
+TEST(Headline, BadabingBeatsZingOnDurationAtMatchedRate) {
+    const auto wl = cbr_workload();
+
+    Experiment bb_exp{testbed(), wl};
+    probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = 0;
+    auto& tool = bb_exp.add_badabing(bc);
+    bb_exp.run();
+    const auto bb_truth = bb_exp.truth();
+    const auto bb_res = tool.analyze(bb_exp.default_marking(0.3));
+    ASSERT_TRUE(bb_res.duration_basic.valid);
+
+    Experiment z_exp{testbed(), wl};
+    probes::ZingProber::Config zc;
+    zc.packet_bytes = 600;
+    zc.mean_interval = seconds(1.0 / (0.3 * 2.0 * 3.0 / 0.005));
+    auto& zing = z_exp.add_zing(zc);
+    z_exp.run();
+    const auto z_truth = z_exp.truth();
+    const auto z_res = zing.result();
+
+    EXPECT_LT(rel_err(bb_res.duration_basic.seconds(tool.slot_width()),
+                      bb_truth.mean_duration_s),
+              rel_err(z_res.mean_duration_s, z_truth.mean_duration_s))
+        << "ZING's duration estimate collapses; BADABING's must not";
+    // The collapse itself (Table 8's most dramatic cell).
+    EXPECT_LT(z_res.mean_duration_s, 0.5 * z_truth.mean_duration_s);
+}
+
+TEST(Headline, LongerProbesSeeLossMoreReliably) {
+    // Figure 7's claim, as an assertion.
+    const auto miss_rate = [&](int packets) {
+        auto wl = cbr_workload();
+        wl.duration = seconds_i(200);
+        Experiment exp{testbed(), wl};
+        probes::FixedIntervalProber::Config pc;
+        pc.interval = milliseconds(10);
+        pc.packets_per_probe = packets;
+        auto& prober = exp.add_fixed_prober(pc);
+        exp.run();
+        const auto episodes = exp.episodes();
+        std::size_t in_ep = 0;
+        std::size_t unscathed = 0;
+        auto it = episodes.begin();
+        for (const auto& po : prober.outcomes()) {
+            while (it != episodes.end() && it->end < po.send_time) ++it;
+            if (it == episodes.end()) break;
+            if (po.send_time >= it->start && po.send_time <= it->end) {
+                ++in_ep;
+                if (!po.any_lost()) ++unscathed;
+            }
+        }
+        return in_ep > 0 ? static_cast<double>(unscathed) / static_cast<double>(in_ep)
+                         : 1.0;
+    };
+    const double one = miss_rate(1);
+    const double four = miss_rate(4);
+    EXPECT_GT(one, 0.2) << "single packets should often survive episodes";
+    EXPECT_LT(four, one) << "longer probes must miss fewer episodes";
+}
+
+TEST(Headline, HeavyProbeTrainsPerturbTheLossProcess) {
+    // Figure 8's claim: 10-packet trains at 10 ms change what they measure.
+    // Depending on the regime the reactive cross traffic either loses more
+    // (paper's testbed) or yields to the probe load and loses less; either
+    // way the loss process the probes report is materially different from
+    // the unprobed one.
+    struct Out {
+        double freq;
+        double cross_drops;
+        std::uint64_t probe_drops;
+    };
+    const auto run = [&](int packets) {
+        auto wl = WorkloadConfig{};
+        wl.kind = TrafficKind::infinite_tcp;
+        wl.duration = seconds_i(120);
+        wl.seed = 3;
+        wl.tcp_flows = 8;
+        Experiment exp{testbed(), wl};
+        if (packets > 0) {
+            probes::FixedIntervalProber::Config pc;
+            pc.interval = milliseconds(10);
+            pc.packets_per_probe = packets;
+            exp.add_fixed_prober(pc);
+        }
+        exp.run();
+        return Out{exp.truth().frequency,
+                   static_cast<double>(exp.monitor().cross_traffic_drops()),
+                   exp.monitor().probe_drops()};
+    };
+    const auto baseline = run(0);
+    const auto heavy = run(10);
+    EXPECT_GT(heavy.probe_drops, 0u);
+    const double freq_shift = std::abs(heavy.freq - baseline.freq) /
+                              std::max(baseline.freq, 1e-9);
+    const double drop_shift = std::abs(heavy.cross_drops - baseline.cross_drops) /
+                              std::max(baseline.cross_drops, 1.0);
+    EXPECT_GT(std::max(freq_shift, drop_shift), 0.1)
+        << "a 10-packet train every 10 ms must visibly change the loss process";
+}
+
+TEST(Headline, PermissiveThresholdsRaiseFrequencyEstimates) {
+    // Figure 9's claim on the real tool output.
+    const auto wl = cbr_workload();
+    Experiment exp{testbed(), wl};
+    probes::BadabingConfig bc;
+    bc.p = 0.5;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+
+    double prev = -1.0;
+    for (const double alpha : {0.05, 0.10, 0.20}) {
+        core::MarkingConfig m;
+        m.alpha = alpha;
+        m.tau = milliseconds(80);
+        const double f = tool.analyze(m).frequency.value;
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,119 @@
+#include "measure/loss_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "scenarios/testbed.h"
+#include "traffic/cbr.h"
+
+namespace bb::measure {
+namespace {
+
+scenarios::TestbedConfig testbed_cfg() {
+    scenarios::TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.prop_delay = milliseconds(10);
+    cfg.buffer_time = milliseconds(50);
+    return cfg;
+}
+
+TEST(LossMonitor, NoTrafficNoDrops) {
+    scenarios::Testbed tb{testbed_cfg()};
+    LossMonitor mon{tb.sched(), tb.bottleneck()};
+    tb.sched().run_until(seconds_i(1));
+    EXPECT_EQ(mon.drops_total(), 0u);
+    EXPECT_DOUBLE_EQ(mon.router_loss_rate(), 0.0);
+    EXPECT_TRUE(mon.episodes(milliseconds(100)).empty());
+}
+
+TEST(LossMonitor, RouterLossRateMatchesOverload) {
+    scenarios::Testbed tb{testbed_cfg()};
+    LossMonitor mon{tb.sched(), tb.bottleneck()};
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 20'000'000;  // 2x: half of the arrivals must be shed
+    cbr.stop = seconds_i(10);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+    tb.sched().run_until(seconds_i(11));
+    EXPECT_NEAR(mon.router_loss_rate(), 0.5, 0.03);
+    EXPECT_EQ(mon.drops_total(), mon.cross_traffic_drops());
+    EXPECT_EQ(mon.probe_drops(), 0u);
+}
+
+TEST(LossMonitor, SeparatesProbeAndCrossTrafficDrops) {
+    scenarios::Testbed tb{testbed_cfg()};
+    LossMonitor mon{tb.sched(), tb.bottleneck()};
+    // Saturate, then inject probe-kind packets that will also be dropped.
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 30'000'000;
+    cbr.stop = seconds_i(5);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+    for (int i = 0; i < 200; ++i) {
+        tb.sched().schedule_at(milliseconds(1000 + i * 10), [&tb, i] {
+            sim::Packet p;
+            p.id = 900'000 + static_cast<std::uint64_t>(i);
+            p.kind = sim::PacketKind::probe;
+            p.size_bytes = 1500;
+            tb.forward_in().accept(p);
+        });
+    }
+    tb.sched().run_until(seconds_i(6));
+    EXPECT_GT(mon.probe_drops(), 0u);
+    EXPECT_GT(mon.cross_traffic_drops(), 0u);
+}
+
+TEST(LossMonitor, ProbeDropsExcludableFromTruth) {
+    scenarios::Testbed tb{testbed_cfg()};
+    LossMonitor::Options opts;
+    opts.count_probe_traffic = false;
+    LossMonitor mon{tb.sched(), tb.bottleneck(), opts};
+    // Only probe packets, at a rate that overflows the queue.
+    for (int i = 0; i < 2000; ++i) {
+        tb.sched().schedule_at(microseconds(i * 100), [&tb, i] {
+            sim::Packet p;
+            p.id = static_cast<std::uint64_t>(i);
+            p.kind = sim::PacketKind::probe;
+            p.size_bytes = 1500;
+            tb.forward_in().accept(p);
+        });
+    }
+    tb.sched().run_until(seconds_i(2));
+    EXPECT_GT(mon.probe_drops(), 0u);
+    EXPECT_TRUE(mon.drop_times().empty()) << "excluded probe drops must not enter truth";
+}
+
+TEST(LossMonitor, DeparturesRecordQueueingDelay) {
+    scenarios::Testbed tb{testbed_cfg()};
+    LossMonitor::Options opts;
+    opts.record_departures = true;
+    LossMonitor mon{tb.sched(), tb.bottleneck(), opts};
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 9'000'000;  // 90% load: visible queueing, no loss
+    cbr.stop = seconds_i(3);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+    tb.sched().run_until(seconds_i(4));
+    ASSERT_FALSE(mon.departures().empty());
+    for (const auto& d : mon.departures()) {
+        EXPECT_GE(d.queueing_delay, TimeNs::zero());
+        EXPECT_LE(d.queueing_delay, milliseconds(51));
+    }
+}
+
+TEST(QueueSampler, SamplesAtConfiguredCadence) {
+    scenarios::Testbed tb{testbed_cfg()};
+    QueueSampler sampler{tb.sched(), tb.bottleneck(), milliseconds(10), seconds_i(1)};
+    tb.sched().run_until(seconds_i(2));
+    // 1 s of samples at 10 ms.
+    EXPECT_NEAR(static_cast<double>(sampler.series().size()), 100.0, 2.0);
+    for (const auto& pt : sampler.series().points()) {
+        EXPECT_GE(pt.value, 0.0);
+    }
+}
+
+TEST(QueueSampler, StopsAtHorizon) {
+    scenarios::Testbed tb{testbed_cfg()};
+    QueueSampler sampler{tb.sched(), tb.bottleneck(), milliseconds(10), milliseconds(100)};
+    tb.sched().run_until(seconds_i(5));
+    EXPECT_LE(sampler.series().size(), 11u);
+}
+
+}  // namespace
+}  // namespace bb::measure

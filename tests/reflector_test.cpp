@@ -1,0 +1,78 @@
+// Packet reflection and the one-way-vs-RTT marking distinction.
+#include <gtest/gtest.h>
+
+#include "probes/badabing.h"
+#include "scenarios/experiment.h"
+#include "sim/router.h"
+#include "traffic/cbr.h"
+
+namespace bb {
+namespace {
+
+TEST(Reflector, SwapsAddressesAndPreservesTimestamp) {
+    sim::CountingSink sink;
+    sim::Reflector reflector{sink};
+    sim::Packet p;
+    p.src_addr = 1;
+    p.dst_addr = 2;
+    p.sent_at = milliseconds(123);
+    reflector.accept(p);
+    EXPECT_EQ(reflector.reflected(), 1u);
+    EXPECT_EQ(sink.last().src_addr, 2u);
+    EXPECT_EQ(sink.last().dst_addr, 1u);
+    EXPECT_EQ(sink.last().sent_at, milliseconds(123));
+}
+
+TEST(Reflector, RttMarkingSeesPhantomCongestionFromReversePath) {
+    // Forward path idle; reverse path congested.  A one-way tool must report
+    // zero loss frequency; an RTT (reflected) tool reports phantom
+    // congestion -- the reason BADABING measures one-way delay.
+    const auto run = [&](bool rtt) {
+        sim::Scheduler sched;
+        sim::FlowDemux fwd_demux;
+        sim::FlowDemux rev_demux;
+        sim::CountingSink blackhole;
+        fwd_demux.set_default(blackhole);
+        rev_demux.set_default(blackhole);
+
+        sim::QueueBase::LinkConfig link;
+        link.rate_bps = 10'000'000;
+        link.prop_delay = milliseconds(20);
+        link.capacity_time = milliseconds(100);
+        sim::BottleneckQueue fwd_queue{sched, link, fwd_demux};
+        sim::BottleneckQueue rev_queue{sched, link, rev_demux};
+
+        // Congest only the reverse direction.
+        traffic::CbrSource::Config cbr;
+        cbr.rate_bps = 12'000'000;
+        cbr.flow = 99;
+        cbr.stop = seconds_i(120);
+        traffic::CbrSource rev_load{sched, cbr, rev_queue};
+
+        probes::BadabingConfig bc;
+        bc.p = 0.4;
+        bc.total_slots = seconds_i(120) / bc.slot_width;
+        probes::BadabingTool tool{sched, bc, fwd_queue, Rng{5}};
+        sim::Reflector reflector{rev_queue};
+        if (rtt) {
+            fwd_demux.bind(bc.flow, reflector);
+            rev_demux.bind(bc.flow, tool);
+        } else {
+            fwd_demux.bind(bc.flow, tool);
+        }
+        sched.run_until(seconds_i(124));
+
+        core::MarkingConfig marking;
+        marking.tau = milliseconds(20);
+        marking.alpha = 0.1;
+        return tool.analyze(marking).frequency.value;
+    };
+
+    const double one_way = run(false);
+    const double rtt = run(true);
+    EXPECT_DOUBLE_EQ(one_way, 0.0) << "forward path is idle";
+    EXPECT_GT(rtt, 0.05) << "reflected probes absorb the reverse congestion";
+}
+
+}  // namespace
+}  // namespace bb

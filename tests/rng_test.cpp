@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace bb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfSiblingOrder) {
+    Rng parent1{7};
+    Rng parent2{7};
+    Rng c1 = parent1.fork(1);
+    Rng c2 = parent2.fork(1);
+    EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, Uniform01Bounds) {
+    Rng r{3};
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = r.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng r{11};
+    int hits = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) {
+        if (r.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsCorrect) {
+    Rng r{5};
+    RunningStats s;
+    for (int i = 0; i < 100'000; ++i) s.add(r.exponential(10.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.2);
+    // Exponential: stddev == mean.
+    EXPECT_NEAR(s.stddev(), 10.0, 0.3);
+}
+
+TEST(Rng, ExponentialTimeOverloadRespectsMean) {
+    Rng r{6};
+    RunningStats s;
+    for (int i = 0; i < 50'000; ++i) s.add(r.exponential(seconds_i(10)).to_seconds());
+    EXPECT_NEAR(s.mean(), 10.0, 0.3);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndMean) {
+    Rng r{9};
+    RunningStats s;
+    const double alpha = 2.5;  // finite mean & variance for a stable test
+    const double xm = 1000.0;
+    for (int i = 0; i < 200'000; ++i) {
+        const double v = r.pareto(alpha, xm);
+        ASSERT_GE(v, xm);
+        s.add(v);
+    }
+    // E[X] = alpha*xm/(alpha-1)
+    EXPECT_NEAR(s.mean(), alpha * xm / (alpha - 1.0), 40.0);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng r{13};
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10'000; ++i) {
+        const auto v = r.uniform_int(2, 4);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 4);
+        saw_lo = saw_lo || v == 2;
+        saw_hi = saw_hi || v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng r{17};
+    RunningStats s;
+    for (int i = 0; i < 100'000; ++i) s.add(r.normal(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,117 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace bb::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+    Scheduler s;
+    EXPECT_EQ(s.now(), TimeNs::zero());
+    EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+    s.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+    s.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(milliseconds(5), [&] { order.push_back(1); });
+    s.schedule_at(milliseconds(5), [&] { order.push_back(2); });
+    s.schedule_at(milliseconds(5), [&] { order.push_back(3); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+    Scheduler s;
+    TimeNs seen{TimeNs::zero()};
+    s.schedule_at(milliseconds(7), [&] { seen = s.now(); });
+    s.run();
+    EXPECT_EQ(seen, milliseconds(7));
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+    Scheduler s;
+    std::vector<double> times;
+    s.schedule_at(milliseconds(10), [&] {
+        s.schedule_after(milliseconds(5), [&] { times.push_back(s.now().to_millis()); });
+    });
+    s.run();
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_DOUBLE_EQ(times[0], 15.0);
+}
+
+TEST(Scheduler, PastSchedulingThrows) {
+    Scheduler s;
+    s.schedule_at(milliseconds(10), [] {});
+    s.run();
+    EXPECT_THROW(s.schedule_at(milliseconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonInclusive) {
+    Scheduler s;
+    int fired = 0;
+    s.schedule_at(milliseconds(10), [&] { ++fired; });
+    s.schedule_at(milliseconds(20), [&] { ++fired; });
+    s.schedule_at(milliseconds(30), [&] { ++fired; });
+    s.run_until(milliseconds(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(s.now(), milliseconds(20));
+    s.run_until(milliseconds(40));
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(s.now(), milliseconds(40));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+    Scheduler s;
+    int fired = 0;
+    const EventId id = s.schedule_at(milliseconds(10), [&] { ++fired; });
+    s.schedule_at(milliseconds(20), [&] { ++fired; });
+    s.cancel(id);
+    s.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelUnknownIdIsNoOp) {
+    Scheduler s;
+    s.cancel(123456);
+    int fired = 0;
+    s.schedule_at(milliseconds(1), [&] { ++fired; });
+    s.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+    Scheduler s;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        ++count;
+        if (count < 100) s.schedule_after(milliseconds(1), tick);
+    };
+    s.schedule_at(TimeNs::zero(), tick);
+    s.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(s.now(), milliseconds(99));
+    EXPECT_EQ(s.executed_events(), 100u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWithoutEvents) {
+    Scheduler s;
+    s.run_until(seconds_i(5));
+    EXPECT_EQ(s.now(), seconds_i(5));
+}
+
+}  // namespace
+}  // namespace bb::sim

@@ -1,0 +1,121 @@
+#include "probes/sting.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/loss_monitor.h"
+#include "scenarios/testbed.h"
+#include "tcp/tcp_receiver.h"
+#include "traffic/cbr.h"
+
+namespace bb {
+namespace {
+
+scenarios::TestbedConfig testbed_cfg() {
+    scenarios::TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.prop_delay = milliseconds(20);
+    return cfg;
+}
+
+struct StingRig {
+    explicit StingRig(scenarios::Testbed& tb, const probes::StingProber::Config& cfg)
+        : prober{tb.sched(), cfg, tb.forward_in(), Rng{0x517}},
+          responder{tb.sched(), cfg.flow, tb.reverse_in()} {
+        tb.fwd_demux().bind(cfg.flow, responder);
+        tb.rev_demux().bind(cfg.flow, prober);
+    }
+    probes::StingProber prober;
+    tcp::TcpReceiver responder;
+};
+
+TEST(Sting, ZeroLossOnIdlePath) {
+    scenarios::Testbed tb{testbed_cfg()};
+    probes::StingProber::Config cfg;
+    cfg.burst_segments = 50;
+    cfg.stop = seconds_i(30);
+    StingRig rig{tb, cfg};
+    tb.sched().run_until(seconds_i(40));
+    const auto res = rig.prober.result();
+    EXPECT_GT(res.bursts_completed, 2u);
+    EXPECT_EQ(res.holes_filled, 0u);
+    EXPECT_DOUBLE_EQ(res.forward_loss_rate, 0.0);
+}
+
+TEST(Sting, DetectsLossUnderSustainedOverload) {
+    scenarios::Testbed tb{testbed_cfg()};
+    measure::LossMonitor mon{tb.sched(), tb.bottleneck()};
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 13'000'000;  // sustained 30% overload
+    cbr.stop = seconds_i(120);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+
+    probes::StingProber::Config cfg;
+    cfg.burst_segments = 100;
+    cfg.burst_interval = seconds_i(2);
+    cfg.stop = seconds_i(120);
+    // Full-size segments: at a byte-granularity drop-tail queue, STING's
+    // classic 41 B probes squeeze into almost any leftover buffer space and
+    // measure ~zero loss (an effect worth knowing about!); 1500 B segments
+    // sample the same loss process as the cross traffic.
+    cfg.segment_bytes = 1500;
+    StingRig rig{tb, cfg};
+    tb.sched().run_until(seconds_i(130));
+
+    const auto res = rig.prober.result();
+    // Hole filling is serial (one RTO-paced retransmission per hole), so
+    // bursts complete slowly under sustained loss; a handful is plenty.
+    ASSERT_GT(res.bursts_completed, 2u);
+    // STING's probes join a persistently full queue out of phase with the
+    // periodic cross traffic, so its per-packet loss rate sits well above
+    // the aggregate router loss rate (the probes sample the worst phase);
+    // require detection and sane bounds, not equality.
+    EXPECT_GT(res.forward_loss_rate, mon.router_loss_rate() * 0.2);
+    EXPECT_LT(res.forward_loss_rate, 0.95);
+}
+
+TEST(Sting, EveryHoleIsEventuallyFilled) {
+    scenarios::Testbed tb{testbed_cfg()};
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 12'000'000;
+    cbr.stop = seconds_i(60);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+
+    probes::StingProber::Config cfg;
+    cfg.burst_segments = 80;
+    cfg.burst_interval = seconds_i(2);
+    cfg.stop = seconds_i(60);
+    StingRig rig{tb, cfg};
+    tb.sched().run_until(seconds_i(90));
+
+    const auto res = rig.prober.result();
+    // Once the run drains, no burst is stuck: everything sent was acked.
+    EXPECT_FALSE(rig.prober.burst_in_progress());
+    EXPECT_GE(res.retransmissions, res.holes_filled)
+        << "filling a hole needs at least one retransmission";
+    // Responder delivered every byte of every completed burst in order.
+    EXPECT_EQ(rig.responder.bytes_delivered() % 41, 0);  // 41 B default segments
+}
+
+TEST(Sting, LossRateScalesWithOverload) {
+    const auto run = [&](std::int64_t cbr_bps) {
+        scenarios::Testbed tb{testbed_cfg()};
+        traffic::CbrSource::Config cbr;
+        cbr.rate_bps = cbr_bps;
+        cbr.stop = seconds_i(90);
+        traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+        probes::StingProber::Config cfg;
+        cfg.burst_segments = 100;
+        cfg.burst_interval = seconds_i(2);
+        cfg.stop = seconds_i(90);
+        cfg.segment_bytes = 1500;
+        StingRig rig{tb, cfg};
+        tb.sched().run_until(seconds_i(120));
+        return rig.prober.result().forward_loss_rate;
+    };
+    const double mild = run(11'000'000);
+    const double heavy = run(16'000'000);
+    EXPECT_GT(heavy, mild);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,130 @@
+// TCP substrate under hostile conditions: severe loss, tiny buffers, many
+// flows, finite transfers racing congestion.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "scenarios/testbed.h"
+#include "tcp/tcp_flow.h"
+#include "traffic/cbr.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Testbed;
+using scenarios::TestbedConfig;
+
+TEST(TcpStress, SurvivesTinyBuffer) {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.buffer_time = milliseconds(5);  // ~4 packets of buffer
+    Testbed tb{cfg};
+    tcp::TcpConfig tcfg;
+    tcp::TcpFlow flow{tb.sched(), 1,           tcfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(60));
+    // Heavy loss, but the connection must keep moving data.
+    EXPECT_GT(flow.sender().bytes_acked(), 5'000'000);
+    EXPECT_GT(flow.sender().retransmits(), 10u);
+}
+
+TEST(TcpStress, FiniteTransferCompletesDespiteCompetingOverload) {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    Testbed tb{cfg};
+    // Competing CBR at 95% of the link: the TCP flow fights for scraps.
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 9'500'000;
+    cbr.flow = 99;
+    cbr.stop = seconds_i(300);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+
+    tcp::TcpConfig tcfg;
+    tcfg.bytes_to_send = 200 * 1500;
+    tcp::TcpFlow flow{tb.sched(), 1,           tcfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    bool done = false;
+    flow.sender().on_complete([&] { done = true; });
+    flow.sender().start(seconds_i(1));
+    tb.sched().run_until(seconds_i(300));
+    EXPECT_TRUE(done) << "transfer must eventually complete";
+}
+
+TEST(TcpStress, ManyFlowsAllMakeProgress) {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 20'000'000;
+    Testbed tb{cfg};
+    tcp::TcpConfig tcfg;
+    std::vector<std::unique_ptr<tcp::TcpFlow>> flows;
+    for (sim::FlowId f = 1; f <= 30; ++f) {
+        flows.push_back(std::make_unique<tcp::TcpFlow>(tb.sched(), f, tcfg, tb.forward_in(),
+                                                       tb.reverse_in(), tb.fwd_demux(),
+                                                       tb.rev_demux()));
+        flows.back()->sender().start(milliseconds(37 * f));
+    }
+    tb.sched().run_until(seconds_i(120));
+    std::int64_t total = 0;
+    for (const auto& flow : flows) {
+        EXPECT_GT(flow->sender().bytes_acked(), 500'000)
+            << "every flow must get a share";
+        total += flow->sender().bytes_acked();
+    }
+    // Aggregate goodput near the link rate (data includes retransmissions
+    // overhead, so allow slack).
+    EXPECT_GT(static_cast<double>(total) * 8.0 / 120.0, 15e6);
+}
+
+TEST(TcpStress, ReceiverDeliveredNeverExceedsSent) {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.buffer_time = milliseconds(20);
+    Testbed tb{cfg};
+    tcp::TcpConfig tcfg;
+    tcp::TcpFlow flow{tb.sched(), 1,           tcfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(30));
+    EXPECT_LE(flow.receiver().bytes_delivered(),
+              static_cast<std::int64_t>(flow.sender().segments_sent()) * 1500);
+    EXPECT_LE(flow.sender().bytes_acked(), flow.receiver().bytes_delivered());
+}
+
+TEST(TcpStress, NoRunawayRetransmissionStorm) {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.buffer_time = milliseconds(10);
+    Testbed tb{cfg};
+    tcp::TcpConfig tcfg;
+    tcp::TcpFlow flow{tb.sched(), 1,           tcfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(60));
+    // Retransmissions should stay a small fraction of all segments.
+    const double rtx_fraction = static_cast<double>(flow.sender().retransmits()) /
+                                static_cast<double>(flow.sender().segments_sent());
+    EXPECT_LT(rtx_fraction, 0.15);
+}
+
+TEST(TcpStress, SenderStopsWhenReceiverWindowExhausted) {
+    // No ACKs ever return (reverse path unbound): the sender must stall at
+    // min(cwnd, rwnd) and retransmit via RTO, not spin.
+    sim::Scheduler sched;
+    sim::CountingSink void_sink;
+    tcp::TcpConfig tcfg;
+    tcfg.rwnd_segments = 8;
+    tcp::TcpSender sender{sched, 1, tcfg, void_sink};
+    sender.start(TimeNs::zero());
+    sched.run_until(seconds_i(10));
+    // Initial window (2 segments) plus a bounded number of RTO retransmits.
+    EXPECT_LT(sender.segments_sent(), 30u);
+    EXPECT_GT(sender.timeouts(), 0u);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "scenarios/testbed.h"
+#include "tcp/rtt_estimator.h"
+#include "tcp/tcp_flow.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Testbed;
+using scenarios::TestbedConfig;
+
+TestbedConfig small_testbed() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.prop_delay = milliseconds(20);
+    cfg.buffer_time = milliseconds(50);
+    return cfg;
+}
+
+TEST(RttEstimator, FirstSampleInitializes) {
+    tcp::RttEstimator est;
+    est.add_sample(milliseconds(100));
+    EXPECT_EQ(est.srtt(), milliseconds(100));
+    EXPECT_EQ(est.rttvar(), milliseconds(50));
+    // RTO = srtt + 4*rttvar = 300 ms.
+    EXPECT_EQ(est.rto(), milliseconds(300));
+}
+
+TEST(RttEstimator, ConvergesToStableRtt) {
+    tcp::RttEstimator est;
+    for (int i = 0; i < 100; ++i) est.add_sample(milliseconds(100));
+    EXPECT_EQ(est.srtt(), milliseconds(100));
+    // rttvar decays toward zero; RTO floors at min_rto = 200 ms.
+    EXPECT_EQ(est.rto(), milliseconds(200));
+}
+
+TEST(RttEstimator, BackoffDoublesAndClamps) {
+    tcp::RttEstimator est;
+    est.add_sample(milliseconds(100));
+    const TimeNs before = est.rto();
+    est.backoff();
+    EXPECT_EQ(est.rto(), before * 2);
+    for (int i = 0; i < 20; ++i) est.backoff();
+    EXPECT_EQ(est.rto(), seconds_i(60));  // max clamp
+}
+
+TEST(RttEstimator, RespectsMinimum) {
+    tcp::RttEstimator est;
+    for (int i = 0; i < 50; ++i) est.add_sample(milliseconds(1));
+    EXPECT_GE(est.rto(), milliseconds(200));
+}
+
+TEST(TcpFlow, FiniteTransferCompletes) {
+    Testbed tb{small_testbed()};
+    tcp::TcpConfig cfg;
+    cfg.bytes_to_send = 100 * 1500;
+    tcp::TcpFlow flow{tb.sched(), 1,           cfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    bool done = false;
+    flow.sender().on_complete([&] { done = true; });
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(60));
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(flow.sender().finished());
+    EXPECT_EQ(flow.sender().bytes_acked(), cfg.bytes_to_send);
+    EXPECT_GE(flow.receiver().bytes_delivered(), cfg.bytes_to_send);
+}
+
+TEST(TcpFlow, SlowStartGrowsWindow) {
+    Testbed tb{small_testbed()};
+    tcp::TcpConfig cfg;  // infinite source
+    tcp::TcpFlow flow{tb.sched(), 1,           cfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    // A couple of RTTs with no loss: cwnd should have grown beyond initial.
+    tb.sched().run_until(milliseconds(200));
+    EXPECT_GT(flow.sender().cwnd_segments(), 3.0);
+}
+
+TEST(TcpFlow, SingleFlowApproachesLinkCapacity) {
+    Testbed tb{small_testbed()};
+    tcp::TcpConfig cfg;
+    tcp::TcpFlow flow{tb.sched(), 1,           cfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(30));
+    const double goodput_bps =
+        static_cast<double>(flow.sender().bytes_acked()) * 8.0 / 30.0;
+    // Should achieve a healthy share of the 10 Mb/s link despite AIMD dips.
+    EXPECT_GT(goodput_bps, 6e6);
+    EXPECT_LE(goodput_bps, 10.5e6);
+}
+
+TEST(TcpFlow, RecoversFromLossWithoutTimeoutStorm) {
+    Testbed tb{small_testbed()};
+    tcp::TcpConfig cfg;
+    tcp::TcpFlow flow{tb.sched(), 1,           cfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(30));
+    // A single flow overfilling a 50 ms buffer must lose packets...
+    EXPECT_GT(flow.sender().retransmits(), 0u);
+    // ...but fast retransmit should handle nearly all of them.
+    EXPECT_GT(flow.sender().fast_retransmits(), 0u);
+    EXPECT_LT(flow.sender().timeouts(), flow.sender().fast_retransmits());
+}
+
+TEST(TcpFlow, TwoFlowsShareCapacityFairly) {
+    Testbed tb{small_testbed()};
+    tcp::TcpConfig cfg;
+    tcp::TcpFlow f1{tb.sched(), 1,           cfg,
+                    tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                    tb.rev_demux()};
+    tcp::TcpFlow f2{tb.sched(), 2,           cfg,
+                    tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                    tb.rev_demux()};
+    f1.sender().start(TimeNs::zero());
+    f2.sender().start(milliseconds(37));
+    tb.sched().run_until(seconds_i(60));
+    const auto b1 = static_cast<double>(f1.sender().bytes_acked());
+    const auto b2 = static_cast<double>(f2.sender().bytes_acked());
+    EXPECT_GT(b1, 0.0);
+    EXPECT_GT(b2, 0.0);
+    const double ratio = b1 > b2 ? b1 / b2 : b2 / b1;
+    EXPECT_LT(ratio, 2.5) << "long-run AIMD shares should be comparable";
+    // Combined goodput close to capacity.
+    EXPECT_GT((b1 + b2) * 8.0 / 60.0, 7e6);
+}
+
+TEST(TcpFlow, ReceiverWindowCapsInFlightData) {
+    Testbed tb{small_testbed()};
+    tcp::TcpConfig cfg;
+    cfg.rwnd_segments = 4;  // tiny window: ~6 Mb/s ceiling at 40 ms RTT
+    tcp::TcpFlow flow{tb.sched(), 1,           cfg,
+                      tb.forward_in(), tb.reverse_in(), tb.fwd_demux(),
+                      tb.rev_demux()};
+    flow.sender().start(TimeNs::zero());
+    tb.sched().run_until(seconds_i(10));
+    // 4 segments per ~41 ms RTT = ~1.2 Mb/s; allow generous slack.
+    const double goodput_bps = static_cast<double>(flow.sender().bytes_acked()) * 8.0 / 10.0;
+    EXPECT_LT(goodput_bps, 2.5e6);
+    EXPECT_EQ(flow.sender().retransmits(), 0u) << "window-limited flow should not lose";
+}
+
+TEST(TcpReceiver, ReassemblesOutOfOrderSegments) {
+    sim::Scheduler sched;
+    sim::CountingSink ack_sink;
+    tcp::TcpReceiver rx{sched, 5, ack_sink};
+    sim::Packet seg;
+    seg.flow = 5;
+    seg.kind = sim::PacketKind::data;
+    seg.size_bytes = 1000;
+    seg.seq = 1000;  // second segment arrives first
+    rx.accept(seg);
+    EXPECT_EQ(rx.bytes_delivered(), 0);
+    EXPECT_EQ(rx.out_of_order_segments(), 1u);
+    seg.seq = 0;
+    rx.accept(seg);
+    EXPECT_EQ(rx.bytes_delivered(), 2000);
+    EXPECT_EQ(ack_sink.packets(), 2u);
+    EXPECT_EQ(ack_sink.last().ack_seq, 2000);
+}
+
+TEST(TcpReceiver, DuplicateSegmentsDoNotDoubleCount) {
+    sim::Scheduler sched;
+    sim::CountingSink ack_sink;
+    tcp::TcpReceiver rx{sched, 5, ack_sink};
+    sim::Packet seg;
+    seg.flow = 5;
+    seg.kind = sim::PacketKind::data;
+    seg.size_bytes = 1000;
+    seg.seq = 0;
+    rx.accept(seg);
+    rx.accept(seg);  // retransmitted duplicate
+    EXPECT_EQ(rx.bytes_delivered(), 1000);
+    EXPECT_EQ(ack_sink.last().ack_seq, 1000);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,72 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+TEST(TimeNs, FactoryFunctionsProduceExpectedNanoseconds) {
+    EXPECT_EQ(nanoseconds(7).ns(), 7);
+    EXPECT_EQ(microseconds(3).ns(), 3'000);
+    EXPECT_EQ(milliseconds(5).ns(), 5'000'000);
+    EXPECT_EQ(seconds_i(2).ns(), 2'000'000'000);
+    EXPECT_EQ(seconds(1.5).ns(), 1'500'000'000);
+}
+
+TEST(TimeNs, FractionalSecondsRoundToNearest) {
+    EXPECT_EQ(seconds(1e-9).ns(), 1);
+    EXPECT_EQ(seconds(2.4e-9).ns(), 2);
+    EXPECT_EQ(seconds(2.6e-9).ns(), 3);
+    EXPECT_EQ(seconds(-1.5e-9).ns(), -2);
+}
+
+TEST(TimeNs, ArithmeticIsExact) {
+    const TimeNs a = milliseconds(5);
+    const TimeNs b = microseconds(30);
+    EXPECT_EQ((a + b).ns(), 5'030'000);
+    EXPECT_EQ((a - b).ns(), 4'970'000);
+    EXPECT_EQ((a * 3).ns(), 15'000'000);
+    EXPECT_EQ(3 * a, a * 3);
+}
+
+TEST(TimeNs, DivisionYieldsSlotCount) {
+    EXPECT_EQ(seconds_i(900) / milliseconds(5), 180'000);
+    EXPECT_EQ(milliseconds(9) / milliseconds(5), 1);  // truncation
+}
+
+TEST(TimeNs, ComparisonsAreTotal) {
+    EXPECT_LT(milliseconds(1), milliseconds(2));
+    EXPECT_EQ(milliseconds(1), microseconds(1000));
+    EXPECT_GT(TimeNs::max(), seconds_i(1'000'000));
+    EXPECT_EQ(TimeNs::zero().ns(), 0);
+}
+
+TEST(TimeNs, ConversionsBackToFloating) {
+    EXPECT_DOUBLE_EQ(milliseconds(1500).to_seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(microseconds(2500).to_millis(), 2.5);
+}
+
+TEST(TimeNs, CompoundAssignment) {
+    TimeNs t = milliseconds(10);
+    t += milliseconds(5);
+    EXPECT_EQ(t, milliseconds(15));
+    t -= milliseconds(20);
+    EXPECT_EQ(t.ns(), -5'000'000);
+}
+
+TEST(TransmissionTime, MatchesHandComputation) {
+    // 1500 bytes at 155 Mb/s: 1500*8/155e6 s = 77.419... us
+    const TimeNs t = transmission_time(1500, 155'000'000);
+    EXPECT_EQ(t.ns(), 1500LL * 8 * 1'000'000'000 / 155'000'000);
+    // Integer nanoseconds truncate: within 1 ns of the exact value.
+    EXPECT_NEAR(t.to_seconds(), 1500.0 * 8 / 155e6, 1e-9);
+}
+
+TEST(TransmissionTime, ScalesLinearlyInSize) {
+    const auto t1 = transmission_time(600, 10'000'000);
+    const auto t2 = transmission_time(1200, 10'000'000);
+    EXPECT_EQ(t2.ns(), 2 * t1.ns());
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,108 @@
+#include "core/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/probe_process.h"
+#include "util/rng.h"
+
+namespace bb::core {
+namespace {
+
+std::vector<ProbeOutcome> sample_probes() {
+    std::vector<ProbeOutcome> probes;
+    for (int i = 0; i < 5; ++i) {
+        ProbeOutcome po;
+        po.slot = i * 3;
+        po.send_time = milliseconds(5 * i * 3);
+        po.packets_sent = 3;
+        po.packets_lost = i % 2;
+        po.max_owd = milliseconds(50 + i);
+        po.any_received = i != 4;
+        probes.push_back(po);
+    }
+    return probes;
+}
+
+TEST(TraceIo, ProbeRoundTripThroughStream) {
+    const auto probes = sample_probes();
+    std::stringstream ss;
+    write_trace(ss, probes);
+    const auto back = read_trace(ss);
+    ASSERT_EQ(back.size(), probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        EXPECT_EQ(back[i].slot, probes[i].slot);
+        EXPECT_EQ(back[i].send_time, probes[i].send_time);
+        EXPECT_EQ(back[i].packets_sent, probes[i].packets_sent);
+        EXPECT_EQ(back[i].packets_lost, probes[i].packets_lost);
+        EXPECT_EQ(back[i].max_owd, probes[i].max_owd);
+        EXPECT_EQ(back[i].any_received, probes[i].any_received);
+    }
+}
+
+TEST(TraceIo, DesignRoundTripThroughStream) {
+    Rng rng{1};
+    ProbeProcessConfig cfg;
+    cfg.p = 0.5;
+    cfg.improved = true;
+    const auto design = design_probe_process(rng, 1000, cfg);
+    std::stringstream ss;
+    write_design(ss, design.experiments);
+    const auto back = read_design(ss);
+    ASSERT_EQ(back.size(), design.experiments.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].start_slot, design.experiments[i].start_slot);
+        EXPECT_EQ(back[i].kind, design.experiments[i].kind);
+    }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto path = (dir / "bb_trace_test.csv").string();
+    const auto probes = sample_probes();
+    write_trace_file(path, probes);
+    const auto back = read_trace_file(path);
+    EXPECT_EQ(back.size(), probes.size());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingHeaderRejected) {
+    std::stringstream ss{"not a trace\n1,2,3\n"};
+    EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, WrongMagicKindRejected) {
+    const auto probes = sample_probes();
+    std::stringstream ss;
+    write_trace(ss, probes);
+    EXPECT_THROW((void)read_design(ss), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedRowRejected) {
+    std::stringstream ss{"# badabing-trace v1\nheader\n1,2,notanumber,4,5,6\n"};
+    EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, WrongFieldCountRejected) {
+    std::stringstream ss{"# badabing-trace v1\nheader\n1,2,3\n"};
+    EXPECT_THROW((void)read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesSkipped) {
+    std::stringstream ss{
+        "# badabing-trace v1\nheader\n\n# comment\n7,100,3,1,50000,1\n"};
+    const auto probes = read_trace(ss);
+    ASSERT_EQ(probes.size(), 1u);
+    EXPECT_EQ(probes[0].slot, 7);
+    EXPECT_EQ(probes[0].packets_lost, 1);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+    EXPECT_THROW((void)read_trace_file("/nonexistent/path/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "measure/loss_monitor.h"
+#include "scenarios/testbed.h"
+#include "traffic/cbr.h"
+#include "traffic/episodic.h"
+#include "traffic/web.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Testbed;
+using scenarios::TestbedConfig;
+
+TestbedConfig testbed_cfg() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.prop_delay = milliseconds(20);
+    cfg.buffer_time = milliseconds(100);
+    return cfg;
+}
+
+TEST(CbrSource, RateIsAccurate) {
+    Testbed tb{testbed_cfg()};
+    traffic::CbrSource::Config cfg;
+    cfg.rate_bps = 5'000'000;
+    cfg.packet_bytes = 1000;
+    cfg.stop = seconds_i(10);
+    traffic::CbrSource src{tb.sched(), cfg, tb.forward_in()};
+    tb.sched().run_until(seconds_i(11));
+    // 5 Mb/s for 10 s = 6.25 MB = 6250 packets of 1000 B.
+    EXPECT_NEAR(static_cast<double>(src.packets_sent()), 6250.0, 10.0);
+}
+
+TEST(CbrSource, BelowCapacityCausesNoLoss) {
+    Testbed tb{testbed_cfg()};
+    measure::LossMonitor mon{tb.sched(), tb.bottleneck()};
+    traffic::CbrSource::Config cfg;
+    cfg.rate_bps = 8'000'000;
+    cfg.stop = seconds_i(5);
+    traffic::CbrSource src{tb.sched(), cfg, tb.forward_in()};
+    tb.sched().run_until(seconds_i(6));
+    EXPECT_EQ(mon.drops_total(), 0u);
+    EXPECT_GT(tb.bottleneck().departures(), 0u);
+}
+
+TEST(CbrSource, AboveCapacityLosesTheExcess) {
+    Testbed tb{testbed_cfg()};
+    measure::LossMonitor mon{tb.sched(), tb.bottleneck()};
+    traffic::CbrSource::Config cfg;
+    cfg.rate_bps = 20'000'000;  // 2x the 10 Mb/s bottleneck
+    cfg.stop = seconds_i(5);
+    traffic::CbrSource src{tb.sched(), cfg, tb.forward_in()};
+    tb.sched().run_until(seconds_i(6));
+    // Half the arrivals are dropped once the buffer fills.
+    EXPECT_NEAR(mon.router_loss_rate(), 0.5, 0.05);
+}
+
+TEST(EpisodicBurst, RequiresCapacity) {
+    Testbed tb{testbed_cfg()};
+    traffic::EpisodicBurstSource::Config cfg;
+    cfg.bottleneck_capacity_bytes = 0;
+    EXPECT_THROW(
+        traffic::EpisodicBurstSource(tb.sched(), cfg, tb.forward_in(), Rng{1}),
+        std::invalid_argument);
+}
+
+TEST(EpisodicBurst, BurstLengthAccountsForFillTime) {
+    Testbed tb{testbed_cfg()};
+    traffic::EpisodicBurstSource::Config cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.bottleneck_capacity_bytes = 125'000;  // 100 ms at 10 Mb/s
+    cfg.background_load = 0.5;
+    cfg.burst_rate_bps = 30'000'000;
+    traffic::EpisodicBurstSource src{tb.sched(), cfg, tb.forward_in(), Rng{1}};
+    // Net fill rate = 30 + 5 - 10 = 25 Mb/s; fill = 1 Mb / 25 Mb/s = 40 ms.
+    const TimeNs burst = src.burst_length_for(milliseconds(68));
+    EXPECT_NEAR(burst.to_millis(), 108.0, 0.5);
+}
+
+TEST(EpisodicBurst, ProducesEpisodesOfTargetDuration) {
+    Testbed tb{testbed_cfg()};
+    measure::LossMonitor mon{tb.sched(), tb.bottleneck()};
+
+    traffic::CbrSource::Config base;
+    base.rate_bps = 5'000'000;
+    base.stop = seconds_i(120);
+    traffic::CbrSource cbr{tb.sched(), base, tb.forward_in()};
+
+    traffic::EpisodicBurstSource::Config cfg;
+    cfg.episode_durations = {milliseconds(68)};
+    cfg.mean_gap = seconds_i(10);
+    cfg.bottleneck_rate_bps = tb.config().bottleneck_rate_bps;
+    cfg.bottleneck_capacity_bytes = tb.bottleneck().capacity_bytes();
+    cfg.background_load = 0.5;
+    cfg.stop = seconds_i(120);
+    traffic::EpisodicBurstSource bursts{tb.sched(), cfg, tb.forward_in(), Rng{7}};
+
+    tb.sched().run_until(seconds_i(121));
+    ASSERT_GT(bursts.bursts_started(), 3u);
+
+    const auto eps = mon.episodes(milliseconds(100));
+    ASSERT_GE(eps.size(), 3u);
+    RunningStats dur;
+    for (const auto& e : eps) dur.add(e.duration().to_seconds());
+    // Engineered episodes should land near 68 ms.
+    EXPECT_NEAR(dur.mean(), 0.068, 0.02);
+}
+
+TEST(WebSessions, GeneratesLoadAndCompletesObjects) {
+    Testbed tb{testbed_cfg()};
+    traffic::WebSessionGenerator::Config cfg;
+    cfg.session_rate_per_s = 2.0;
+    cfg.objects_per_session_mean = 3.0;
+    cfg.object_min_bytes = 5'000;
+    cfg.stop = seconds_i(30);
+    traffic::WebSessionGenerator gen{tb.sched(),     cfg,           tb.forward_in(),
+                                     tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
+                                     Rng{3}};
+    tb.sched().run_until(seconds_i(40));
+    EXPECT_GT(gen.sessions_started(), 20u);
+    EXPECT_GT(gen.objects_started(), gen.sessions_started());
+    // Most objects should complete on a lightly loaded link.
+    EXPECT_GT(gen.objects_completed(), gen.objects_started() / 2);
+    EXPECT_GT(gen.bytes_offered(), 0);
+}
+
+TEST(WebSessions, HeavyTailProducesLargeObjects) {
+    Testbed tb{testbed_cfg()};
+    traffic::WebSessionGenerator::Config cfg;
+    cfg.session_rate_per_s = 20.0;
+    cfg.object_min_bytes = 10'000;
+    cfg.pareto_alpha = 1.2;
+    cfg.stop = seconds_i(20);
+    traffic::WebSessionGenerator gen{tb.sched(),     cfg,           tb.forward_in(),
+                                     tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
+                                     Rng{5}};
+    tb.sched().run_until(seconds_i(21));
+    // Mean of Pareto(1.2, 10 kB) = 60 kB >> the minimum: the aggregate must
+    // reflect the heavy tail.
+    const double mean_object =
+        static_cast<double>(gen.bytes_offered()) / static_cast<double>(gen.objects_started());
+    EXPECT_GT(mean_object, 25'000.0);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,103 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::core {
+namespace {
+
+TEST(Validation, EmptyCountsAreTriviallyAcceptable) {
+    const auto rep = validate(StateCounts{});
+    EXPECT_DOUBLE_EQ(rep.pair_asymmetry, 0.0);
+    EXPECT_EQ(rep.transitions, 0u);
+    EXPECT_TRUE(rep.acceptable());
+}
+
+TEST(Validation, SymmetricTransitionsPass) {
+    StateCounts c;
+    c.basic[0b01] = 100;
+    c.basic[0b10] = 104;
+    c.basic[0b00] = 1000;
+    const auto rep = validate(c);
+    EXPECT_NEAR(rep.pair_asymmetry, 4.0 / 204.0, 1e-12);
+    EXPECT_EQ(rep.transitions, 204u);
+    EXPECT_TRUE(rep.acceptable(0.25));
+}
+
+TEST(Validation, AsymmetricTransitionsFail) {
+    StateCounts c;
+    c.basic[0b01] = 100;
+    c.basic[0b10] = 10;
+    const auto rep = validate(c);
+    EXPECT_NEAR(rep.pair_asymmetry, 90.0 / 110.0, 1e-12);
+    EXPECT_FALSE(rep.acceptable(0.25));
+}
+
+TEST(Validation, ViolationsCounted) {
+    StateCounts c;
+    c.extended[0b010] = 3;
+    c.extended[0b101] = 2;
+    c.extended[0b000] = 95;
+    const auto rep = validate(c);
+    EXPECT_EQ(rep.violations, 5u);
+    EXPECT_NEAR(rep.violation_fraction, 0.05, 1e-12);
+    EXPECT_TRUE(rep.acceptable(0.25, 0.05));
+    EXPECT_FALSE(rep.acceptable(0.25, 0.04));
+}
+
+TEST(Validation, ExtendedPairAsymmetry) {
+    StateCounts c;
+    c.extended[0b011] = 10;
+    c.extended[0b110] = 30;
+    c.extended[0b000] = 100;
+    const auto rep = validate(c);
+    EXPECT_NEAR(rep.ext_pair_asymmetry, 0.5, 1e-12);
+}
+
+TEST(Validation, SingleRateSpreadComparesBasicAndExtended) {
+    StateCounts c;
+    c.basic[0b01] = 10;
+    c.basic[0b10] = 10;
+    c.basic[0b00] = 80;  // rates 0.1 each
+    c.extended[0b001] = 10;
+    c.extended[0b100] = 10;
+    c.extended[0b000] = 80;  // rates 0.1 each
+    const auto rep = validate(c);
+    EXPECT_NEAR(rep.single_rate_spread, 0.0, 1e-12);
+}
+
+TEST(StoppingRule, KeepsGoingUntilEnoughTransitions) {
+    StoppingRule rule{{.min_transitions = 50, .tolerance = 0.2, .violation_tolerance = 0.05}};
+    StateCounts c;
+    c.basic[0b01] = 10;
+    c.basic[0b10] = 10;
+    EXPECT_EQ(rule.evaluate(c), StoppingRule::Decision::keep_going);
+}
+
+TEST(StoppingRule, StopsValidWhenSymmetric) {
+    StoppingRule rule{{.min_transitions = 50, .tolerance = 0.2, .violation_tolerance = 0.05}};
+    StateCounts c;
+    c.basic[0b01] = 100;
+    c.basic[0b10] = 95;
+    EXPECT_EQ(rule.evaluate(c), StoppingRule::Decision::stop_valid);
+}
+
+TEST(StoppingRule, StopsInvalidOnViolations) {
+    StoppingRule rule{{.min_transitions = 50, .tolerance = 0.2, .violation_tolerance = 0.05}};
+    StateCounts c;
+    c.basic[0b01] = 100;
+    c.basic[0b10] = 95;
+    c.extended[0b010] = 20;
+    c.extended[0b000] = 80;
+    EXPECT_EQ(rule.evaluate(c), StoppingRule::Decision::stop_invalid);
+}
+
+TEST(StoppingRule, KeepsGoingWhenAsymmetric) {
+    StoppingRule rule{{.min_transitions = 50, .tolerance = 0.1, .violation_tolerance = 0.05}};
+    StateCounts c;
+    c.basic[0b01] = 100;
+    c.basic[0b10] = 50;
+    EXPECT_EQ(rule.evaluate(c), StoppingRule::Decision::keep_going);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,69 @@
+// Harpoon-style self-configuration of the web workload generator.
+#include <gtest/gtest.h>
+
+#include "scenarios/testbed.h"
+#include "traffic/web.h"
+
+namespace bb::traffic {
+namespace {
+
+scenarios::TestbedConfig big_testbed() {
+    scenarios::TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 100'000'000;  // headroom: generator, not the link,
+    return cfg;                             // determines the offered load
+}
+
+WebSessionGenerator::Config base_cfg(TimeNs stop) {
+    WebSessionGenerator::Config cfg;
+    cfg.session_rate_per_s = 1.0;  // deliberately far too low for the target
+    cfg.objects_per_session_mean = 4.0;
+    cfg.object_min_bytes = 10'000;
+    cfg.pareto_alpha = 1.5;
+    cfg.stop = stop;
+    return cfg;
+}
+
+TEST(WebSelfConfig, ConvergesTowardTargetOfferedLoad) {
+    scenarios::Testbed tb{big_testbed()};
+    auto cfg = base_cfg(seconds_i(300));
+    cfg.target_offered_bps = 20'000'000;
+    cfg.adjust_interval = seconds_i(5);
+    WebSessionGenerator gen{tb.sched(),     cfg,           tb.forward_in(),
+                            tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
+                            Rng{1}};
+    tb.sched().run_until(seconds_i(310));
+    // Offered load over the second half of the run should be near the target.
+    const double mean_bps =
+        static_cast<double>(gen.bytes_offered()) * 8.0 / 300.0;
+    EXPECT_GT(mean_bps, 0.4 * 20e6);
+    EXPECT_LT(mean_bps, 2.0 * 20e6);
+    // The controller must have raised the session rate well above 1/s.
+    EXPECT_GT(gen.session_rate_per_s(), 3.0);
+}
+
+TEST(WebSelfConfig, RateStaysFixedWithoutTarget) {
+    scenarios::Testbed tb{big_testbed()};
+    auto cfg = base_cfg(seconds_i(60));
+    cfg.target_offered_bps = 0;
+    WebSessionGenerator gen{tb.sched(),     cfg,           tb.forward_in(),
+                            tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
+                            Rng{2}};
+    tb.sched().run_until(seconds_i(61));
+    EXPECT_DOUBLE_EQ(gen.session_rate_per_s(), 1.0);
+}
+
+TEST(WebSelfConfig, ControllerThrottlesWhenOverTarget) {
+    scenarios::Testbed tb{big_testbed()};
+    auto cfg = base_cfg(seconds_i(200));
+    cfg.session_rate_per_s = 50.0;  // way above what the target needs
+    cfg.target_offered_bps = 5'000'000;
+    cfg.adjust_interval = seconds_i(5);
+    WebSessionGenerator gen{tb.sched(),     cfg,           tb.forward_in(),
+                            tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
+                            Rng{3}};
+    tb.sched().run_until(seconds_i(210));
+    EXPECT_LT(gen.session_rate_per_s(), 50.0);
+}
+
+}  // namespace
+}  // namespace bb::traffic

@@ -1,0 +1,111 @@
+#include "probes/zing.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/loss_monitor.h"
+#include "scenarios/testbed.h"
+#include "traffic/cbr.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Testbed;
+using scenarios::TestbedConfig;
+
+TestbedConfig testbed_cfg() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 10'000'000;
+    cfg.prop_delay = milliseconds(20);
+    cfg.buffer_time = milliseconds(100);
+    return cfg;
+}
+
+TEST(Zing, SendsAtConfiguredMeanRate) {
+    Testbed tb{testbed_cfg()};
+    probes::ZingProber::Config cfg;
+    cfg.mean_interval = milliseconds(100);
+    cfg.stop = seconds_i(60);
+    probes::ZingProber zing{tb.sched(), cfg, tb.forward_in(), Rng{1}};
+    tb.fwd_demux().bind(cfg.flow, zing);
+    tb.sched().run_until(seconds_i(61));
+    // ~600 probes expected; Poisson sd ~ 24.5.
+    EXPECT_NEAR(static_cast<double>(zing.probes_sent()), 600.0, 100.0);
+}
+
+TEST(Zing, NoLossOnIdlePath) {
+    Testbed tb{testbed_cfg()};
+    probes::ZingProber::Config cfg;
+    cfg.stop = seconds_i(30);
+    probes::ZingProber zing{tb.sched(), cfg, tb.forward_in(), Rng{2}};
+    tb.fwd_demux().bind(cfg.flow, zing);
+    tb.sched().run_until(seconds_i(31));
+    const auto res = zing.result();
+    EXPECT_EQ(res.lost, 0u);
+    EXPECT_EQ(res.received, res.sent);
+    EXPECT_DOUBLE_EQ(res.loss_frequency, 0.0);
+    EXPECT_EQ(res.loss_runs, 0u);
+}
+
+TEST(Zing, SeesLossUnderOverload) {
+    Testbed tb{testbed_cfg()};
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 20'000'000;  // sustained 2x overload: ~50% drop rate
+    cbr.stop = seconds_i(30);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+
+    probes::ZingProber::Config cfg;
+    cfg.mean_interval = milliseconds(20);
+    cfg.stop = seconds_i(30);
+    probes::ZingProber zing{tb.sched(), cfg, tb.forward_in(), Rng{3}};
+    tb.fwd_demux().bind(cfg.flow, zing);
+    tb.sched().run_until(seconds_i(32));
+
+    const auto res = zing.result();
+    EXPECT_GT(res.lost, 0u);
+    // The cross traffic loses ~50%; small probe packets fare better at a
+    // byte-capacity drop-tail queue, so the probe loss rate sits below that.
+    EXPECT_GT(res.loss_frequency, 0.10);
+    EXPECT_LT(res.loss_frequency, 0.65);
+    EXPECT_GT(res.loss_runs, 0u);
+}
+
+TEST(Zing, RunDurationSpansConsecutiveLosses) {
+    // Hand-drive the loss pattern by building a result from a fake trace:
+    // use the public interface with a path that drops everything in a window.
+    Testbed tb{testbed_cfg()};
+    traffic::CbrSource::Config cbr;
+    cbr.rate_bps = 60'000'000;  // 6x overload: probes nearly always lost
+    cbr.start = seconds_i(10);
+    cbr.stop = seconds_i(12);
+    traffic::CbrSource src{tb.sched(), cbr, tb.forward_in()};
+
+    probes::ZingProber::Config cfg;
+    cfg.mean_interval = milliseconds(50);
+    cfg.stop = seconds_i(30);
+    probes::ZingProber zing{tb.sched(), cfg, tb.forward_in(), Rng{4}};
+    tb.fwd_demux().bind(cfg.flow, zing);
+    tb.sched().run_until(seconds_i(31));
+
+    const auto res = zing.result();
+    ASSERT_GT(res.loss_runs, 0u);
+    // The overload lasts ~2 s; consecutive probe losses should occur.
+    EXPECT_GE(res.max_run_length, 2u);
+    EXPECT_GT(res.mean_duration_s, 0.0);
+    EXPECT_LT(res.mean_duration_s, 3.0);
+}
+
+TEST(Zing, FlightsSendMultiplePackets) {
+    Testbed tb{testbed_cfg()};
+    probes::ZingProber::Config cfg;
+    cfg.packets_per_flight = 3;
+    cfg.stop = seconds_i(10);
+    probes::ZingProber zing{tb.sched(), cfg, tb.forward_in(), Rng{5}};
+    tb.fwd_demux().bind(cfg.flow, zing);
+    tb.sched().run_until(seconds_i(11));
+    EXPECT_EQ(zing.probes_sent() % 3, 0u);
+    EXPECT_EQ(zing.bytes_sent(),
+              static_cast<std::int64_t>(zing.probes_sent()) * cfg.packet_bytes);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,127 @@
+// badabing_sim: run a BADABING measurement against a simulated congested
+// path and print the paper's estimates; optionally dump the probe trace and
+// experiment design for offline analysis with `estimate_trace`.
+//
+//   $ badabing_sim --scenario=cbr --p=0.3 --duration-s=300 --trace=run.csv
+#include <cstdio>
+#include <string>
+
+#include "core/trace_io.h"
+#include "scenarios/experiment.h"
+#include "util/flags.h"
+
+namespace {
+
+bool pick_scenario(const std::string& name, bb::scenarios::WorkloadConfig& wl) {
+    using bb::scenarios::TrafficKind;
+    if (name == "tcp") {
+        wl.kind = TrafficKind::infinite_tcp;
+        return true;
+    }
+    if (name == "cbr") {
+        wl.kind = TrafficKind::cbr_uniform;
+        return true;
+    }
+    if (name == "cbr-multi") {
+        wl.kind = TrafficKind::cbr_multi;
+        wl.episode_durations = {bb::milliseconds(50), bb::milliseconds(100),
+                                bb::milliseconds(150)};
+        return true;
+    }
+    if (name == "web") {
+        wl.kind = TrafficKind::web;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace bb;
+
+    FlagSet flags{"badabing_sim",
+                  "BADABING loss measurement on a simulated dumbbell (SIGCOMM'05 repro)"};
+    const auto* scenario =
+        flags.add_string("scenario", "cbr", "traffic: tcp | cbr | cbr-multi | web");
+    const auto* p = flags.add_double("p", 0.3, "probe (experiment) probability per 5 ms slot");
+    const auto* duration_s = flags.add_int("duration-s", 900, "measured interval, seconds");
+    const auto* rate_mbps = flags.add_int("rate-mbps", 30, "bottleneck rate, Mb/s");
+    const auto* seed = flags.add_int("seed", 7, "RNG seed (workload and probe process)");
+    const auto* improved =
+        flags.add_bool("improved", false, "mix in 3-probe extended experiments (Sec 5.3)");
+    const auto* red = flags.add_bool("red", false, "use a RED bottleneck instead of drop-tail");
+    const auto* hops = flags.add_int("extra-hops", 0, "uncongested upstream hops");
+    const auto* alpha = flags.add_double("alpha", -1.0, "marking alpha (-1 = paper rule)");
+    const auto* tau_ms = flags.add_int("tau-ms", -1, "marking tau in ms (-1 = paper rule)");
+    const auto* trace = flags.add_string("trace", "", "write probe outcomes to FILE");
+    const auto* design = flags.add_string("design", "", "write experiment design to FILE");
+    if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
+
+    scenarios::TestbedConfig tb;
+    tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
+    tb.discipline =
+        *red ? scenarios::QueueDiscipline::red : scenarios::QueueDiscipline::drop_tail;
+    tb.extra_hops = static_cast<int>(*hops);
+    tb.seed = static_cast<std::uint64_t>(*seed);
+
+    scenarios::WorkloadConfig wl;
+    if (!pick_scenario(*scenario, wl)) {
+        std::fprintf(stderr, "unknown --scenario '%s'\n", scenario->c_str());
+        return 1;
+    }
+    wl.duration = seconds_i(*duration_s);
+    wl.seed = static_cast<std::uint64_t>(*seed);
+
+    scenarios::TruthConfig tc;
+    tc.delay_based = wl.kind == scenarios::TrafficKind::web;
+
+    scenarios::Experiment exp{tb, wl, tc};
+    probes::BadabingConfig bc;
+    bc.p = *p;
+    bc.improved = *improved;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+
+    std::printf("running %s for %lld s at %lld Mb/s (p = %.2f%s)...\n", scenario->c_str(),
+                static_cast<long long>(*duration_s), static_cast<long long>(*rate_mbps), *p,
+                *improved ? ", improved" : "");
+    exp.run();
+
+    core::MarkingConfig marking = exp.default_marking(*p);
+    if (*alpha >= 0.0) marking.alpha = *alpha;
+    if (*tau_ms >= 0) marking.tau = milliseconds(*tau_ms);
+
+    const auto truth = exp.truth();
+    const auto res = tool.analyze(marking);
+
+    std::printf("\nground truth : frequency %.4f | duration %.3f s (sigma %.3f) | "
+                "%zu episodes\n",
+                truth.frequency, truth.mean_duration_s, truth.sd_duration_s, truth.episodes);
+    std::printf("badabing     : frequency %.4f | duration %.3f s", res.frequency.value,
+                res.duration_basic.valid ? res.duration_basic.seconds(tool.slot_width())
+                                         : 0.0);
+    if (res.duration_improved.valid) {
+        std::printf(" | improved %.3f s (r_hat %.3f)",
+                    res.duration_improved.seconds(tool.slot_width()),
+                    res.duration_improved.r_hat.value_or(0.0));
+    }
+    std::printf("\nprobing      : %llu probes, %.2f%% of bottleneck, marking alpha %.2f "
+                "tau %.0f ms\n",
+                static_cast<unsigned long long>(res.probes_sent),
+                100.0 * tool.offered_load_fraction(tb.bottleneck_rate_bps), marking.alpha,
+                marking.tau.to_millis());
+    std::printf("validation   : pair asymmetry %.3f, violation fraction %.4f -> %s\n",
+                res.validation.pair_asymmetry, res.validation.violation_fraction,
+                res.validation.acceptable() ? "OK" : "SUSPECT");
+
+    if (!trace->empty()) {
+        core::write_trace_file(*trace, tool.outcomes());
+        std::printf("trace        : wrote %s\n", trace->c_str());
+    }
+    if (!design->empty()) {
+        core::write_design_file(*design, tool.design().experiments);
+        std::printf("design       : wrote %s\n", design->c_str());
+    }
+    return 0;
+}
