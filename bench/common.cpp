@@ -18,6 +18,16 @@ std::uint64_t bench_seed() {
     return static_cast<std::uint64_t>(env_int("BB_BENCH_SEED", 7));
 }
 
+std::size_t bench_replicas() {
+    const std::int64_t n = env_int("BB_BENCH_REPLICAS", 3);
+    return n < 1 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t bench_threads() {
+    const std::int64_t n = env_int("BB_BENCH_THREADS", 0);
+    return n < 0 ? 0 : static_cast<std::size_t>(n);
+}
+
 scenarios::TestbedConfig bench_testbed() {
     scenarios::TestbedConfig cfg;
     cfg.bottleneck_rate_bps = env_int("BB_BENCH_RATE_MBPS", 30) * 1'000'000;
@@ -123,6 +133,80 @@ void print_badabing_table(const std::string& title, const std::string& paper_ref
                     est_dur, r.offered_load, r.result.validation.pair_asymmetry);
     }
     std::printf("\n");
+}
+
+MultiRow run_badabing_rows(const scenarios::WorkloadConfig& wl, double p,
+                           std::size_t n_replicas, bool improved) {
+    scenarios::ReplicaPlan plan;
+    plan.testbed = bench_testbed();
+    plan.workload = wl;
+    plan.truth = truth_for(wl);
+    plan.probe.p = p;
+    plan.probe.improved = improved;
+    plan.probe.total_slots = 0;  // sized to the workload window
+
+    scenarios::ReplicaRunner::Config rc;
+    rc.replicas = n_replicas;
+    rc.threads = bench_threads();
+    rc.master_seed = wl.seed;
+
+    const scenarios::ReplicaRunner runner{rc};
+    MultiRow row;
+    row.p = p;
+    row.replicas = runner.run(plan);
+    row.aggregate = runner.aggregate(plan, row.replicas);
+    return row;
+}
+
+void print_badabing_ci_table(const std::string& title, const std::string& paper_ref,
+                             const std::vector<MultiRow>& rows, TimeNs slot_width) {
+    (void)slot_width;  // durations are aggregated in seconds already
+    print_header(title, paper_ref);
+    const std::size_t n = rows.empty() ? 0 : rows.front().replicas.size();
+    std::printf("replicas: %zu per row, mean +/- 95%% bootstrap CI\n", n);
+    std::printf("%-5s | %-31s | %-31s | %s\n", "p", "loss frequency",
+                "loss duration (s)", "probe");
+    std::printf("%-5s | %-9s %-21s | %-9s %-21s | %s\n", "", "true", "badabing (CI)", "true",
+                "badabing (CI)", "load");
+    std::printf("--------------------------------------------------------------------------------\n");
+    for (const auto& r : rows) {
+        const auto& a = r.aggregate;
+        std::printf("%-5.1f | %-9.4f %.4f [%.4f,%.4f] | %-9.3f %.3f [%.3f,%.3f]   | %.4f\n",
+                    r.p, a.true_frequency.mean, a.est_frequency.mean, a.est_frequency.ci.lo,
+                    a.est_frequency.ci.hi, a.true_duration_s.mean, a.est_duration_s.mean,
+                    a.est_duration_s.ci.lo, a.est_duration_s.ci.hi, a.offered_load.mean);
+    }
+    std::printf("\n");
+}
+
+std::string maybe_write_bench_json(const std::string& bench_name,
+                                   const std::vector<MultiRow>& rows, TimeNs slot_width) {
+    const char* dir = std::getenv("BB_BENCH_JSON");
+    if (dir == nullptr) return {};
+    std::string path{dir};
+    if (path.empty() || path == "1") path = ".";
+    path += "/BENCH_" + bench_name + ".json";
+
+    std::vector<scenarios::AggregateRow> aggregates;
+    std::vector<std::vector<scenarios::ReplicaResult>> replicas;
+    aggregates.reserve(rows.size());
+    replicas.reserve(rows.size());
+    for (const auto& r : rows) {
+        aggregates.push_back(r.aggregate);
+        replicas.push_back(r.replicas);
+    }
+    const std::string doc =
+        scenarios::aggregate_rows_json(bench_name, slot_width, aggregates, replicas);
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return {};
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("json: wrote %s\n", path.c_str());
+    return path;
 }
 
 }  // namespace bb::bench

@@ -6,12 +6,19 @@
 #include <string>
 
 #include "scenarios/experiment.h"
+#include "scenarios/replica_runner.h"
 
 namespace bb::bench {
 
 // Paper runs are 15 minutes.  BB_BENCH_DURATION_S overrides for quick looks.
 [[nodiscard]] TimeNs bench_duration();
 [[nodiscard]] std::uint64_t bench_seed();
+
+// Monte Carlo controls for the table benches: BB_BENCH_REPLICAS independent
+// replicas per row (default 3), run across BB_BENCH_THREADS workers
+// (default 0 = all hardware threads).
+[[nodiscard]] std::size_t bench_replicas();
+[[nodiscard]] std::size_t bench_threads();
 
 // The testbed scaled from the paper's OC3: defaults to 30 Mb/s with the same
 // 50 ms one-way delay and 100 ms buffer.  BB_BENCH_RATE_MBPS overrides.
@@ -41,6 +48,29 @@ struct BadabingRow {
                                            bool improved = false);
 void print_badabing_table(const std::string& title, const std::string& paper_ref,
                           const std::vector<BadabingRow>& rows, TimeNs slot_width);
+
+// Multi-replica version of a table row: n_replicas independent runs of the
+// same scenario (seeds derived positionally from bench_seed()), executed
+// across bench_threads() workers, plus the collapsed aggregate.  Aggregates
+// are bit-identical for any thread count.
+struct MultiRow {
+    double p{0.0};
+    std::vector<scenarios::ReplicaResult> replicas;
+    scenarios::AggregateRow aggregate;
+};
+[[nodiscard]] MultiRow run_badabing_rows(const scenarios::WorkloadConfig& wl, double p,
+                                         std::size_t n_replicas, bool improved = false);
+
+// Table with mean +/- 95% bootstrap CI columns across replicas.
+void print_badabing_ci_table(const std::string& title, const std::string& paper_ref,
+                             const std::vector<MultiRow>& rows, TimeNs slot_width);
+
+// When BB_BENCH_JSON is set, write the rows (aggregates + per-replica
+// trajectories) as BENCH_<bench_name>.json into the directory it names
+// ("1" or empty value = current directory).  Returns the path written, or
+// empty if JSON emission is off.
+std::string maybe_write_bench_json(const std::string& bench_name,
+                                   const std::vector<MultiRow>& rows, TimeNs slot_width);
 
 }  // namespace bb::bench
 

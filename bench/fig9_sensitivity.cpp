@@ -10,16 +10,17 @@
 #include <vector>
 
 #include "common.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace bb::bench;
 
 struct RunHandle {
-    double p;
-    double true_freq;
+    double p{0.0};
+    double true_freq{0.0};
     std::unique_ptr<bb::scenarios::Experiment> exp;
-    bb::probes::BadabingTool* tool;
+    bb::probes::BadabingTool* tool{nullptr};
 };
 
 RunHandle run_for(double p) {
@@ -49,8 +50,15 @@ int main() {
     print_header("Figure 9: loss-frequency sensitivity to alpha and tau",
                  "Sommers et al., SIGCOMM 2005, Figures 9(a) and 9(b)");
 
-    std::vector<RunHandle> runs;
-    for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) runs.push_back(run_for(p));
+    // The per-p simulations are independent; run them across the worker
+    // pool (each RunHandle owns its whole Experiment, results by index).
+    const std::vector<double> ps{0.1, 0.3, 0.5, 0.7, 0.9};
+    std::vector<RunHandle> runs(ps.size());
+    {
+        bb::ThreadPool pool{bench_threads()};
+        pool.for_each_index(ps.size(),
+                            [&ps, &runs](std::size_t i) { runs[i] = run_for(ps[i]); });
+    }
 
     std::filesystem::create_directories("fig_data");
     std::ofstream csv{"fig_data/fig9_sensitivity.csv"};

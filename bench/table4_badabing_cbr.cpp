@@ -1,16 +1,20 @@
 // Table 4: BADABING loss estimates for CBR traffic with loss episodes of
-// uniform (68 ms) duration, over p in {0.1, 0.3, 0.5, 0.7, 0.9}.
+// uniform (68 ms) duration, over p in {0.1, 0.3, 0.5, 0.7, 0.9}.  Each row
+// is BB_BENCH_REPLICAS independent replicas (positional seeds off
+// BB_BENCH_SEED) run across BB_BENCH_THREADS workers; reported as
+// mean +/- 95% bootstrap CI.  BB_BENCH_JSON=<dir> dumps the trajectories.
 #include "common.h"
 
 int main() {
     using namespace bb::bench;
-    std::vector<BadabingRow> rows;
+    std::vector<MultiRow> rows;
     for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        rows.push_back(run_badabing_row(cbr_uniform_workload(), p));
+        rows.push_back(run_badabing_rows(cbr_uniform_workload(), p, bench_replicas()));
     }
-    print_badabing_table(
+    print_badabing_ci_table(
         "Table 4: BADABING, constant bit rate traffic, uniform 68 ms episodes",
         "Sommers et al., SIGCOMM 2005, Table 4", rows, bb::milliseconds(5));
+    maybe_write_bench_json("table4_badabing_cbr", rows, bb::milliseconds(5));
     std::printf("expected shape (paper): frequency close to truth for p >= 0.3, worst\n"
                 "at p = 0.1 where the tau window is widest.  The paper's hardware\n"
                 "under-estimated at p = 0.1 (probes often passed through episodes\n"

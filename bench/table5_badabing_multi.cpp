@@ -1,15 +1,18 @@
 // Table 5: BADABING loss estimates for CBR traffic with loss episodes of
-// 50, 100 or 150 ms (drawn uniformly), over p in {0.1 .. 0.9}.
+// 50, 100 or 150 ms (drawn uniformly), over p in {0.1 .. 0.9}.  Rows are
+// multi-replica aggregates (mean +/- 95% bootstrap CI); see table4 for the
+// BB_BENCH_REPLICAS / BB_BENCH_THREADS / BB_BENCH_JSON knobs.
 #include "common.h"
 
 int main() {
     using namespace bb::bench;
-    std::vector<BadabingRow> rows;
+    std::vector<MultiRow> rows;
     for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        rows.push_back(run_badabing_row(cbr_multi_workload(), p));
+        rows.push_back(run_badabing_rows(cbr_multi_workload(), p, bench_replicas()));
     }
-    print_badabing_table(
+    print_badabing_ci_table(
         "Table 5: BADABING, constant bit rate traffic, episodes of 50/100/150 ms",
         "Sommers et al., SIGCOMM 2005, Table 5", rows, bb::milliseconds(5));
+    maybe_write_bench_json("table5_badabing_multi", rows, bb::milliseconds(5));
     return 0;
 }

@@ -1,17 +1,21 @@
 // Table 6: BADABING loss estimates for Harpoon-style web-like traffic,
-// over p in {0.1 .. 0.9}.
+// over p in {0.1 .. 0.9}.  Rows are multi-replica aggregates (mean +/- 95%
+// bootstrap CI); see table4 for BB_BENCH_REPLICAS / BB_BENCH_THREADS /
+// BB_BENCH_JSON.
 #include "common.h"
 
 int main() {
     using namespace bb::bench;
-    std::vector<BadabingRow> rows;
+    std::vector<MultiRow> rows;
     for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        rows.push_back(run_badabing_row(web_workload(), p));
+        rows.push_back(run_badabing_rows(web_workload(), p, bench_replicas()));
     }
-    print_badabing_table("Table 6: BADABING, web-like traffic",
-                         "Sommers et al., SIGCOMM 2005, Table 6", rows,
-                         bb::milliseconds(5));
+    print_badabing_ci_table("Table 6: BADABING, web-like traffic",
+                            "Sommers et al., SIGCOMM 2005, Table 6", rows,
+                            bb::milliseconds(5));
+    maybe_write_bench_json("table6_badabing_web", rows, bb::milliseconds(5));
     std::printf("note: the probe traffic itself perturbs this reactive workload, so\n"
-                "true values differ slightly across rows, exactly as in the paper.\n");
+                "true values differ slightly across rows and replicas, exactly as in\n"
+                "the paper.\n");
     return 0;
 }

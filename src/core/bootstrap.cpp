@@ -26,6 +26,27 @@ BootstrapInterval make_interval(double point, std::vector<double>& samples,
 
 }  // namespace
 
+BootstrapInterval bootstrap_mean(const std::vector<double>& values, std::size_t replicates,
+                                 double confidence, Rng& rng) {
+    BootstrapInterval iv;
+    if (values.empty()) return iv;
+
+    RunningStats original;
+    for (double v : values) original.add(v);
+
+    const auto n = static_cast<std::int64_t>(values.size());
+    std::vector<double> samples;
+    samples.reserve(replicates);
+    for (std::size_t b = 0; b < replicates; ++b) {
+        RunningStats replicate;
+        for (std::int64_t k = 0; k < n; ++k) {
+            replicate.add(values[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+        }
+        samples.push_back(replicate.mean());
+    }
+    return make_interval(original.mean(), samples, confidence);
+}
+
 BootstrapResult bootstrap_estimates(const std::vector<ExperimentResult>& results,
                                     const BootstrapConfig& cfg, Rng& rng) {
     BootstrapResult out;

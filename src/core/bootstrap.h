@@ -42,6 +42,14 @@ struct BootstrapConfig {
 [[nodiscard]] BootstrapResult bootstrap_estimates(const std::vector<ExperimentResult>& results,
                                                   const BootstrapConfig& cfg, Rng& rng);
 
+// Percentile-bootstrap interval for the mean of `values` (iid resampling of
+// the values themselves) — used by the multi-replica aggregation layer,
+// where each value is one replica's statistic.  A single value degenerates
+// to a zero-width interval at that value; empty input is invalid.
+[[nodiscard]] BootstrapInterval bootstrap_mean(const std::vector<double>& values,
+                                               std::size_t replicates, double confidence,
+                                               Rng& rng);
+
 }  // namespace bb::core
 
 #endif  // BB_CORE_BOOTSTRAP_H

@@ -1,0 +1,155 @@
+#include "scenarios/replica_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace bb::scenarios {
+
+namespace {
+
+ReplicaResult run_one(const ReplicaPlan& plan, std::size_t index, std::uint64_t seed) {
+    TestbedConfig tb = plan.testbed;
+    // RED's randomized drops get their own stream so queue and workload
+    // randomness stay decoupled within a replica.
+    tb.seed = seed ^ 0x5EEDULL;
+    WorkloadConfig wl = plan.workload;
+    wl.seed = seed;
+
+    Experiment exp{tb, wl, plan.truth};
+    auto& tool = exp.add_badabing(plan.probe);
+    exp.run();
+
+    ReplicaResult r;
+    r.index = index;
+    r.seed = seed;
+    r.truth = exp.truth();
+    const core::MarkingConfig marking =
+        plan.marking ? *plan.marking : exp.default_marking(plan.probe.p);
+    r.result = tool.analyze(marking, plan.estimator);
+    r.offered_load = tool.offered_load_fraction(tb.bottleneck_rate_bps);
+    return r;
+}
+
+AggregateStat collapse(const std::vector<double>& values, const ReplicaRunner::Config& cfg,
+                       Rng& rng) {
+    AggregateStat s;
+    RunningStats stats;
+    for (double v : values) stats.add(v);
+    s.mean = stats.mean();
+    s.stddev = stats.stddev();
+    s.ci = core::bootstrap_mean(values, cfg.bootstrap_replicates, cfg.confidence, rng);
+    return s;
+}
+
+void append_stat(std::string& out, const char* name, const AggregateStat& s) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"mean\":%.9g,\"stddev\":%.9g,\"ci_lo\":%.9g,\"ci_hi\":%.9g},",
+                  name, s.mean, s.stddev, s.ci.lo, s.ci.hi);
+    out += buf;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> ReplicaRunner::replica_seeds(std::uint64_t master_seed,
+                                                        std::size_t n) {
+    Rng master{master_seed};
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) seeds.push_back(master.fork_seed(i));
+    return seeds;
+}
+
+std::vector<ReplicaResult> ReplicaRunner::run(const ReplicaPlan& plan) const {
+    const auto seeds = replica_seeds(cfg_.master_seed, cfg_.replicas);
+    std::vector<ReplicaResult> results(cfg_.replicas);
+    if (cfg_.replicas == 0) return results;
+
+    // Never spin up more workers than replicas.
+    const std::size_t want = cfg_.threads == 0 ? ThreadPool::default_threads() : cfg_.threads;
+    const std::size_t threads = std::min(want, cfg_.replicas);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+            results[i] = run_one(plan, i, seeds[i]);
+        }
+        return results;
+    }
+
+    ThreadPool pool{threads};
+    pool.for_each_index(cfg_.replicas, [&plan, &seeds, &results](std::size_t i) {
+        results[i] = run_one(plan, i, seeds[i]);
+    });
+    return results;
+}
+
+AggregateRow ReplicaRunner::aggregate(const ReplicaPlan& plan,
+                                      const std::vector<ReplicaResult>& results) const {
+    AggregateRow row;
+    row.p = plan.probe.p;
+    row.replicas = results.size();
+
+    std::vector<double> true_f, est_f, true_d, est_d, load;
+    true_f.reserve(results.size());
+    est_f.reserve(results.size());
+    true_d.reserve(results.size());
+    est_d.reserve(results.size());
+    load.reserve(results.size());
+    for (const auto& r : results) {
+        true_f.push_back(r.truth.frequency);
+        est_f.push_back(r.est_frequency());
+        true_d.push_back(r.truth.mean_duration_s);
+        est_d.push_back(r.est_duration_s(plan.probe.slot_width));
+        load.push_back(r.offered_load);
+    }
+
+    // One serial bootstrap stream per aggregation keeps the row a pure
+    // function of (results order, master_seed) — thread count cannot leak in.
+    Rng rng{cfg_.master_seed ^ 0xB007B007ULL};
+    row.true_frequency = collapse(true_f, cfg_, rng);
+    row.est_frequency = collapse(est_f, cfg_, rng);
+    row.true_duration_s = collapse(true_d, cfg_, rng);
+    row.est_duration_s = collapse(est_d, cfg_, rng);
+    row.offered_load = collapse(load, cfg_, rng);
+    return row;
+}
+
+std::string aggregate_rows_json(const std::string& label, TimeNs slot_width,
+                                const std::vector<AggregateRow>& rows,
+                                const std::vector<std::vector<ReplicaResult>>& replicas) {
+    std::string out = "{\"label\":\"" + label + "\",\"rows\":[";
+    char buf[256];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        if (i > 0) out += ',';
+        std::snprintf(buf, sizeof buf, "{\"p\":%.9g,\"replicas\":%zu,", row.p, row.replicas);
+        out += buf;
+        append_stat(out, "true_frequency", row.true_frequency);
+        append_stat(out, "est_frequency", row.est_frequency);
+        append_stat(out, "true_duration_s", row.true_duration_s);
+        append_stat(out, "est_duration_s", row.est_duration_s);
+        append_stat(out, "offered_load", row.offered_load);
+        out += "\"trajectory\":[";
+        if (i < replicas.size()) {
+            for (std::size_t k = 0; k < replicas[i].size(); ++k) {
+                const auto& r = replicas[i][k];
+                if (k > 0) out += ',';
+                std::snprintf(buf, sizeof buf,
+                              "{\"replica\":%zu,\"seed\":%llu,\"true_frequency\":%.9g,"
+                              "\"est_frequency\":%.9g,\"true_duration_s\":%.9g,"
+                              "\"est_duration_s\":%.9g}",
+                              r.index, static_cast<unsigned long long>(r.seed),
+                              r.truth.frequency, r.est_frequency(), r.truth.mean_duration_s,
+                              r.est_duration_s(slot_width));
+                out += buf;
+            }
+        }
+        out += "]}";
+    }
+    out += "]}\n";
+    return out;
+}
+
+}  // namespace bb::scenarios

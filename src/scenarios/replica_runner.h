@@ -1,0 +1,117 @@
+// Parallel multi-replica experiment execution (Monte Carlo over seeds).
+//
+// The paper's evaluation reports point estimates from single 15-minute runs,
+// yet §5.2 derives Var(F̂) and Figure 9 studies estimator sensitivity —
+// variance is the story.  ReplicaRunner runs N independent copies of one
+// experiment plan, each with its own RNG stream derived *positionally* from
+// (master_seed, replica_index) via Rng::fork, and aggregates the per-replica
+// results into mean / stddev / percentile-bootstrap confidence intervals.
+//
+// Concurrency model: scenarios::Experiment is non-copyable and strictly
+// single-threaded; parallelism is across replicas only.  Each replica builds
+// its whole world (testbed, workload, prober) inside its task, and results
+// are stored by replica index.  Because seeds are computed serially before
+// any task is submitted and aggregation walks results in index order, the
+// output is bit-identical for any thread count — the scheduler can only
+// change *when* a replica runs, never *what* it computes.
+#ifndef BB_SCENARIOS_REPLICA_RUNNER_H
+#define BB_SCENARIOS_REPLICA_RUNNER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "scenarios/experiment.h"
+
+namespace bb::scenarios {
+
+// Everything one replica needs; `workload.seed` is the master seed and is
+// replaced by the replica's own derived seed before the run.
+struct ReplicaPlan {
+    TestbedConfig testbed;
+    WorkloadConfig workload;
+    TruthConfig truth;
+    probes::BadabingConfig probe;
+    // Marking rule for analyze(); defaults to the paper's tau/alpha-by-p rule.
+    std::optional<core::MarkingConfig> marking;
+    core::EstimatorOptions estimator{};
+};
+
+struct ReplicaResult {
+    std::size_t index{0};
+    std::uint64_t seed{0};
+    measure::TruthSummary truth;
+    probes::BadabingResult result;
+    double offered_load{0.0};
+
+    [[nodiscard]] double est_frequency() const noexcept { return result.frequency.value; }
+    [[nodiscard]] double est_duration_s(TimeNs slot_width) const noexcept {
+        return result.duration_basic.valid ? result.duration_basic.seconds(slot_width) : 0.0;
+    }
+};
+
+// One metric collapsed across replicas.
+struct AggregateStat {
+    double mean{0.0};
+    double stddev{0.0};              // sample stddev across replicas (0 if n < 2)
+    core::BootstrapInterval ci;      // percentile bootstrap over replica values
+};
+
+// Per-plan aggregate row: the multi-replica analogue of a paper table row.
+struct AggregateRow {
+    double p{0.0};
+    std::size_t replicas{0};
+    AggregateStat true_frequency;
+    AggregateStat est_frequency;
+    AggregateStat true_duration_s;
+    AggregateStat est_duration_s;
+    AggregateStat offered_load;
+};
+
+class ReplicaRunner {
+public:
+    struct Config {
+        std::size_t replicas{8};
+        std::size_t threads{0};      // 0 = hardware concurrency
+        std::uint64_t master_seed{7};
+        std::size_t bootstrap_replicates{1000};
+        double confidence{0.95};
+    };
+
+    explicit ReplicaRunner(Config cfg) : cfg_{cfg} {}
+
+    [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+    // Per-replica seeds: Rng{master}.fork_seed(i) drawn in index order.  A
+    // pure function of (master_seed, n) — prefix-stable, so growing n keeps
+    // every earlier replica's stream unchanged.
+    [[nodiscard]] static std::vector<std::uint64_t> replica_seeds(std::uint64_t master_seed,
+                                                                  std::size_t n);
+
+    // Run cfg.replicas independent copies of `plan` across cfg.threads
+    // workers.  results[i] always belongs to replica i.
+    [[nodiscard]] std::vector<ReplicaResult> run(const ReplicaPlan& plan) const;
+
+    // Collapse per-replica results (in index order) into an AggregateRow.
+    // Deterministic given (results, master_seed); does not depend on how the
+    // results were scheduled.
+    [[nodiscard]] AggregateRow aggregate(const ReplicaPlan& plan,
+                                         const std::vector<ReplicaResult>& results) const;
+
+private:
+    Config cfg_;
+};
+
+// JSON document for a list of aggregate rows plus their per-replica
+// trajectories (one entry per row, rows[i] aggregated from replicas[i]).
+// Emitted by the table benches as BENCH_<name>.json and by badabing_sim
+// --json for downstream plotting.
+[[nodiscard]] std::string aggregate_rows_json(const std::string& label, TimeNs slot_width,
+                                              const std::vector<AggregateRow>& rows,
+                                              const std::vector<std::vector<ReplicaResult>>& replicas);
+
+}  // namespace bb::scenarios
+
+#endif  // BB_SCENARIOS_REPLICA_RUNNER_H

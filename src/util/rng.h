@@ -18,10 +18,15 @@ class Rng {
 public:
     explicit Rng(std::uint64_t seed) : engine_{seed} {}
 
-    // Derive an independent child stream; `salt` distinguishes siblings.
-    [[nodiscard]] Rng fork(std::uint64_t salt) {
-        return Rng{engine_() ^ (salt * 0x9e3779b97f4a7c15ULL)};
+    // Seed a fork(salt) child would be constructed with.  NOTE: advances the
+    // parent engine by one draw, exactly like fork() — callers that rely on
+    // positional child streams (replica seeding) must fork in index order.
+    [[nodiscard]] std::uint64_t fork_seed(std::uint64_t salt) {
+        return engine_() ^ (salt * 0x9e3779b97f4a7c15ULL);
     }
+
+    // Derive an independent child stream; `salt` distinguishes siblings.
+    [[nodiscard]] Rng fork(std::uint64_t salt) { return Rng{fork_seed(salt)}; }
 
     [[nodiscard]] double uniform01() { return uniform_(engine_); }
 

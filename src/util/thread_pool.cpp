@@ -1,0 +1,61 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace bb {
+
+std::size_t ThreadPool::default_threads() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t n = threads == 0 ? default_threads() : threads;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock{mu_};
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock{mu_};
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();  // packaged_task: exceptions land in the future, never here
+    }
+}
+
+void ThreadPool::for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    std::exception_ptr first;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) first = std::current_exception();
+        }
+    }
+    if (first) std::rethrow_exception(first);
+}
+
+}  // namespace bb

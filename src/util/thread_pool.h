@@ -1,0 +1,73 @@
+// Fixed-size worker pool draining a shared FIFO task queue — the execution
+// substrate for multi-replica experiment runs (scenarios::ReplicaRunner).
+//
+// Tasks are arbitrary callables; submit() returns a std::future that carries
+// the task's result or rethrows its exception.  for_each_index() is the
+// common bulk pattern: run fn(i) for every i in [0, n) across the pool and
+// block until all complete.  The pool imposes no ordering between tasks, so
+// anything that must be deterministic (e.g. replica seeding) has to be
+// decided *before* submission, never from scheduling order.
+#ifndef BB_UTIL_THREAD_POOL_H
+#define BB_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bb {
+
+class ThreadPool {
+public:
+    // `threads` == 0 selects the hardware concurrency (at least 1).
+    explicit ThreadPool(std::size_t threads = 0);
+
+    // Blocks until every queued task has run, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    // Enqueue one task.  The returned future yields the task's result, or
+    // rethrows whatever the task threw.
+    template <typename F>
+    [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            const std::lock_guard<std::mutex> lock{mu_};
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    // Run fn(0) .. fn(n-1) across the pool; returns once all have finished.
+    // If any task throws, the exception of the lowest index is rethrown
+    // (after every task has completed, so captured state stays alive).
+    void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    // Resolved thread count for a `threads` parameter of 0.
+    [[nodiscard]] static std::size_t default_threads() noexcept;
+
+private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_{false};
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace bb
+
+#endif  // BB_UTIL_THREAD_POOL_H

@@ -79,6 +79,46 @@ TEST(Bootstrap, MoreDataShrinksInterval) {
               small_res.frequency.hi - small_res.frequency.lo);
 }
 
+TEST(BootstrapMean, EmptyIsInvalid) {
+    Rng rng{1};
+    const auto iv = bootstrap_mean({}, 200, 0.95, rng);
+    EXPECT_FALSE(iv.valid);
+}
+
+TEST(BootstrapMean, SingleValueDegeneratesToZeroWidth) {
+    Rng rng{2};
+    const auto iv = bootstrap_mean({0.42}, 200, 0.95, rng);
+    ASSERT_TRUE(iv.valid);
+    EXPECT_DOUBLE_EQ(iv.point, 0.42);
+    EXPECT_DOUBLE_EQ(iv.lo, 0.42);
+    EXPECT_DOUBLE_EQ(iv.hi, 0.42);
+    EXPECT_DOUBLE_EQ(iv.std_error, 0.0);
+}
+
+TEST(BootstrapMean, IntervalBracketsTheSampleMean) {
+    const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+    Rng rng{3};
+    const auto iv = bootstrap_mean(values, 1000, 0.95, rng);
+    ASSERT_TRUE(iv.valid);
+    EXPECT_DOUBLE_EQ(iv.point, 4.5);
+    EXPECT_LT(iv.lo, 4.5);
+    EXPECT_GT(iv.hi, 4.5);
+    EXPECT_GE(iv.lo, 1.0);
+    EXPECT_LE(iv.hi, 8.0);
+    EXPECT_GT(iv.std_error, 0.0);
+}
+
+TEST(BootstrapMean, DeterministicGivenSameRngSeed) {
+    const std::vector<double> values{0.1, 0.2, 0.7, 1.3};
+    Rng rng1{9};
+    Rng rng2{9};
+    const auto a = bootstrap_mean(values, 500, 0.9, rng1);
+    const auto b = bootstrap_mean(values, 500, 0.9, rng2);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+    EXPECT_EQ(a.std_error, b.std_error);
+}
+
 TEST(Bootstrap, CoverageOfTrueFrequency) {
     // Over several independent realizations, the 90% interval should contain
     // the true frequency most of the time (loose check: >= 6 of 10).

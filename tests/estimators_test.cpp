@@ -168,6 +168,56 @@ TEST(DurationOptions, PairsFromExtendedFoldLeadingDigits) {
     EXPECT_DOUBLE_EQ(d.slots, 3.0);
 }
 
+// Edge cases feeding the multi-replica aggregation layer: a replica with no
+// usable experiments must yield invalid-but-finite estimates, never NaN.
+TEST(Frequency, ZeroExperimentsIsInvalidAndFinite) {
+    const StateCounts empty;
+    const auto f = estimate_frequency(empty);
+    EXPECT_FALSE(f.valid());
+    EXPECT_EQ(f.samples, 0u);
+    EXPECT_TRUE(std::isfinite(f.value));
+    EXPECT_DOUBLE_EQ(f.value, 0.0);
+}
+
+TEST(Frequency, OnlyExtendedWithOptOutIsInvalid) {
+    StateCounts c;
+    c.add(extended(0b100));
+    EstimatorOptions basic_only;
+    basic_only.frequency_from_extended = false;
+    const auto f = estimate_frequency(c, basic_only);
+    EXPECT_FALSE(f.valid());
+    EXPECT_TRUE(std::isfinite(f.value));
+}
+
+TEST(DurationBasic, ZeroExperimentsIsInvalidAndFinite) {
+    const auto d = estimate_duration_basic(StateCounts{});
+    EXPECT_FALSE(d.valid);
+    EXPECT_TRUE(std::isfinite(d.slots));
+    EXPECT_TRUE(std::isfinite(d.seconds(milliseconds(5))));
+}
+
+TEST(DurationBasic, SZeroNeverProducesNaN) {
+    // S = 0 with congestion present (only 11 reports): the R/S ratio is
+    // undefined; the estimate must be flagged invalid with finite fields.
+    StateCounts c;
+    c.basic[0b11] = 50;
+    const auto d = estimate_duration_basic(c);
+    EXPECT_FALSE(d.valid);
+    EXPECT_EQ(d.S, 0u);
+    EXPECT_TRUE(std::isfinite(d.slots));
+    EXPECT_TRUE(std::isfinite(d.seconds(milliseconds(5))));
+    EXPECT_DOUBLE_EQ(d.seconds(milliseconds(5)), 0.0);
+}
+
+TEST(DurationImproved, SZeroOrUZeroNeverProducesNaN) {
+    StateCounts c;
+    c.basic[0b11] = 10;          // S = 0
+    c.extended[0b001] = 4;       // V > 0, U = 0
+    const auto d = estimate_duration_improved(c);
+    EXPECT_FALSE(d.valid);
+    EXPECT_TRUE(std::isfinite(d.slots));
+}
+
 TEST(StdDevGuidance, MatchesFormula) {
     // StdDev = 1/sqrt(p N L); paper example: L = 0.001 per 5 ms slot.
     EXPECT_NEAR(duration_stddev_guidance(0.1, 180'000, 0.001), 1.0 / std::sqrt(18.0), 1e-12);

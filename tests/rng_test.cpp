@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <set>
+
 #include "util/stats.h"
 
 namespace bb {
@@ -29,6 +33,67 @@ TEST(Rng, ForkedStreamsAreIndependentOfSiblingOrder) {
     Rng c1 = parent1.fork(1);
     Rng c2 = parent2.fork(1);
     EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+// Positional replica seeding leans on this: fork() consumes exactly one
+// parent draw, so the k-th fork (in call order) is a pure function of
+// (seed, k, salt) — and callers must fork in index order.
+TEST(Rng, ForkAdvancesParentByExactlyOneDraw) {
+    Rng forked{7};
+    Rng reference{7};
+    (void)forked.fork(3);
+    (void)reference.next_u64();  // consume the draw fork() used
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(forked.next_u64(), reference.next_u64());
+}
+
+TEST(Rng, ForkSeedMatchesForkAndAdvancesIdentically) {
+    Rng a{7};
+    Rng b{7};
+    const std::uint64_t seed = a.fork_seed(5);
+    Rng child_from_seed{seed};
+    Rng child_from_fork = b.fork(5);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(child_from_seed.next_u64(), child_from_fork.next_u64());
+    }
+    // Both parents advanced the same way.
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkedSiblingsWithAdjacentSaltsShareNoEarlyOutputs) {
+    // Siblings forked with salts 0..7 (the replica-index pattern): no value
+    // may repeat within or across their first-k outputs.
+    constexpr int kSiblings = 8;
+    constexpr int kDraws = 256;
+    Rng parent{7};
+    std::set<std::uint64_t> seen;
+    for (int s = 0; s < kSiblings; ++s) {
+        Rng child = parent.fork(static_cast<std::uint64_t>(s));
+        for (int i = 0; i < kDraws; ++i) {
+            ASSERT_TRUE(seen.insert(child.next_u64()).second)
+                << "duplicate output, sibling " << s << " draw " << i;
+        }
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kSiblings * kDraws));
+}
+
+TEST(Rng, ForkedChildPassesUniformitySmokeCheck) {
+    Rng parent{7};
+    Rng child = parent.fork(1);
+    constexpr int kDraws = 50'000;
+    constexpr int kBins = 10;
+    std::array<int, kBins> bins{};
+    RunningStats s;
+    for (int i = 0; i < kDraws; ++i) {
+        const double u = child.uniform01();
+        s.add(u);
+        ++bins[static_cast<std::size_t>(u * kBins)];
+    }
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.stddev(), 1.0 / std::sqrt(12.0), 0.01);
+    for (int b = 0; b < kBins; ++b) {
+        // Each decile should hold ~5000 draws; +/-8% is > 11 sigma.
+        EXPECT_NEAR(bins[b], kDraws / kBins, kDraws / kBins * 0.08) << "bin " << b;
+    }
 }
 
 TEST(Rng, Uniform01Bounds) {

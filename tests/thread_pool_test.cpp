@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace bb {
+namespace {
+
+TEST(ThreadPool, CleanShutdownWithZeroSubmittedTasks) {
+    ThreadPool pool{4};
+    EXPECT_EQ(pool.size(), 4u);
+    // Destructor must not hang or crash with an empty queue.
+}
+
+TEST(ThreadPool, ZeroThreadsResolvesToHardwareConcurrency) {
+    ThreadPool pool{0};
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), ThreadPool::default_threads());
+}
+
+TEST(ThreadPool, SubmitReturnsTaskResult) {
+    ThreadPool pool{2};
+    auto fut = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanWorkersAllRun) {
+    constexpr int kTasks = 5000;
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    {
+        ThreadPool pool{3};
+        for (int i = 0; i < kTasks; ++i) {
+            futures.push_back(pool.submit([&counter] {
+                counter.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        for (auto& f : futures) f.get();
+    }
+    EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool{2};
+        for (int i = 0; i < 200; ++i) {
+            auto fut = pool.submit([&counter] {
+                counter.fetch_add(1, std::memory_order_relaxed);
+            });
+            (void)fut;  // deliberately dropped: destructor must still run it
+        }
+    }
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+    ThreadPool pool{2};
+    auto fut = pool.submit([]() -> int { throw std::runtime_error{"replica failed"}; });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexExactlyOnce) {
+    constexpr std::size_t kN = 4096;
+    std::vector<std::atomic<int>> hits(kN);
+    ThreadPool pool{8};
+    pool.for_each_index(kN, [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ForEachIndexRethrowsLowestIndexException) {
+    ThreadPool pool{4};
+    try {
+        pool.for_each_index(64, [](std::size_t i) {
+            if (i == 3) throw std::runtime_error{"boom-3"};
+            if (i == 40) throw std::logic_error{"boom-40"};
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom-3");
+    }
+}
+
+TEST(ThreadPool, ForEachIndexZeroIsANoOp) {
+    ThreadPool pool{2};
+    int calls = 0;
+    pool.for_each_index(0, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace bb

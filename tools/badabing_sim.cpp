@@ -3,11 +3,17 @@
 // experiment design for offline analysis with `estimate_trace`.
 //
 //   $ badabing_sim --scenario=cbr --p=0.3 --duration-s=300 --trace=run.csv
+//
+// With --replicas=N the run becomes a Monte Carlo experiment: N independent
+// replicas (seeds derived positionally from --seed) executed across
+// --threads workers, reported as mean +/- 95% bootstrap CI and optionally
+// dumped with --json=FILE.
 #include <cstdio>
 #include <string>
 
 #include "core/trace_io.h"
 #include "scenarios/experiment.h"
+#include "scenarios/replica_runner.h"
 #include "util/flags.h"
 
 namespace {
@@ -56,6 +62,12 @@ int main(int argc, char** argv) {
     const auto* tau_ms = flags.add_int("tau-ms", -1, "marking tau in ms (-1 = paper rule)");
     const auto* trace = flags.add_string("trace", "", "write probe outcomes to FILE");
     const auto* design = flags.add_string("design", "", "write experiment design to FILE");
+    const auto* replicas =
+        flags.add_int("replicas", 1, "independent replicas (Monte Carlo over seeds)");
+    const auto* threads =
+        flags.add_int("threads", 0, "worker threads for replicas (0 = all cores)");
+    const auto* json =
+        flags.add_string("json", "", "write replica aggregate + trajectories to FILE");
     if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
 
     scenarios::TestbedConfig tb;
@@ -75,6 +87,73 @@ int main(int argc, char** argv) {
 
     scenarios::TruthConfig tc;
     tc.delay_based = wl.kind == scenarios::TrafficKind::web;
+
+    if (*replicas > 1 || !json->empty()) {
+        if (!trace->empty() || !design->empty()) {
+            std::fprintf(stderr, "--trace/--design apply to single runs; ignored with "
+                                 "--replicas/--json\n");
+        }
+        scenarios::ReplicaPlan plan;
+        plan.testbed = tb;
+        plan.workload = wl;
+        plan.truth = tc;
+        plan.probe.p = *p;
+        plan.probe.improved = *improved;
+        plan.probe.total_slots = 0;
+        if (*alpha >= 0.0 || *tau_ms >= 0) {
+            core::MarkingConfig m;
+            m.tau = scenarios::tau_for_probe_rate(*p, plan.probe.slot_width);
+            m.alpha = scenarios::alpha_for_probe_rate(*p);
+            if (*alpha >= 0.0) m.alpha = *alpha;
+            if (*tau_ms >= 0) m.tau = milliseconds(*tau_ms);
+            plan.marking = m;
+        }
+
+        scenarios::ReplicaRunner::Config rc;
+        rc.replicas = static_cast<std::size_t>(*replicas < 1 ? 1 : *replicas);
+        rc.threads = static_cast<std::size_t>(*threads < 0 ? 0 : *threads);
+        rc.master_seed = static_cast<std::uint64_t>(*seed);
+        const scenarios::ReplicaRunner runner{rc};
+
+        std::printf("running %zu replicas of %s for %lld s at %lld Mb/s (p = %.2f%s)...\n",
+                    rc.replicas, scenario->c_str(), static_cast<long long>(*duration_s),
+                    static_cast<long long>(*rate_mbps), *p, *improved ? ", improved" : "");
+        const auto results = runner.run(plan);
+        const auto agg = runner.aggregate(plan, results);
+
+        std::printf("\n%-8s | %-12s | %-10s | %-10s | %-10s\n", "replica", "seed",
+                    "true freq", "est freq", "est dur(s)");
+        for (const auto& r : results) {
+            std::printf("%-8zu | %-12llx | %-10.4f | %-10.4f | %-10.3f\n", r.index,
+                        static_cast<unsigned long long>(r.seed), r.truth.frequency,
+                        r.est_frequency(), r.est_duration_s(plan.probe.slot_width));
+        }
+        std::printf("\naggregate (mean +/- 95%% bootstrap CI over %zu replicas):\n",
+                    results.size());
+        std::printf("  true freq : %.4f (sd %.4f)\n", agg.true_frequency.mean,
+                    agg.true_frequency.stddev);
+        std::printf("  est freq  : %.4f [%.4f, %.4f]\n", agg.est_frequency.mean,
+                    agg.est_frequency.ci.lo, agg.est_frequency.ci.hi);
+        std::printf("  true dur  : %.3f s (sd %.3f)\n", agg.true_duration_s.mean,
+                    agg.true_duration_s.stddev);
+        std::printf("  est dur   : %.3f s [%.3f, %.3f]\n", agg.est_duration_s.mean,
+                    agg.est_duration_s.ci.lo, agg.est_duration_s.ci.hi);
+        std::printf("  probe load: %.4f of bottleneck\n", agg.offered_load.mean);
+
+        if (!json->empty()) {
+            const auto doc = scenarios::aggregate_rows_json(
+                *scenario, plan.probe.slot_width, {agg}, {results});
+            std::FILE* f = std::fopen(json->c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "cannot write %s\n", json->c_str());
+                return 1;
+            }
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fclose(f);
+            std::printf("json      : wrote %s\n", json->c_str());
+        }
+        return 0;
+    }
 
     scenarios::Experiment exp{tb, wl, tc};
     probes::BadabingConfig bc;
