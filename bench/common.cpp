@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/json_io.h"
+
 namespace bb::bench {
 
 namespace {
@@ -198,13 +200,7 @@ std::string maybe_write_bench_json(const std::string& bench_name,
     const std::string doc =
         scenarios::aggregate_rows_json(bench_name, slot_width, aggregates, replicas);
 
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-        return {};
-    }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
+    if (!write_text_file(path, doc)) return {};
     std::printf("json: wrote %s\n", path.c_str());
     return path;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Continuous-integration driver: tier-1 verification plus sanitizer builds.
+#
+#   scripts/ci.sh                 # tier-1 + ASan full suite + TSan `-L tsan`
+#   BB_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the AddressSanitizer stage
+#   BB_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the ThreadSanitizer stage
+#
+# Each stage uses its own build directory (build, build-asan, build-tsan) so
+# sanitizer flags never leak into the primary build. BB_SANITIZE is the
+# top-level CMake cache option (thread|address).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${BB_CI_JOBS:-$(nproc)}"
+
+echo "==> tier-1: configure + build + full ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${BB_CI_SKIP_ASAN:-0}" != 1 ]]; then
+  echo "==> asan: BB_SANITIZE=address build + full ctest"
+  cmake -B build-asan -S . -DBB_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${BB_CI_SKIP_TSAN:-0}" != 1 ]]; then
+  echo "==> tsan: BB_SANITIZE=thread build + ctest -L tsan"
+  cmake -B build-tsan -S . -DBB_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
+fi
+
+echo "==> ci: all requested stages passed"

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/report_sink.h"
 #include "core/types.h"
 #include "util/time.h"
 
@@ -62,12 +63,14 @@ struct DurationEstimate {
 
 // Streaming accumulator: feed experiment reports as they complete, snapshot
 // estimates at any time.  Supports the open-ended/adaptive experimentation
-// style of §5.1 and §7.
-class EstimatorAccumulator {
+// style of §5.1 and §7.  As a ReportSink it plugs directly into the
+// streaming pipeline (probe layer, StreamingExperimentScorer).
+class EstimatorAccumulator final : public ReportSink {
 public:
     explicit EstimatorAccumulator(EstimatorOptions opts = {}) : opts_{opts} {}
 
     void add(const ExperimentResult& r) noexcept { counts_.add(r); }
+    void consume(const ExperimentResult& r) override { add(r); }
 
     [[nodiscard]] const StateCounts& counts() const noexcept { return counts_; }
     [[nodiscard]] FrequencyEstimate frequency() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace bb::core {
 
@@ -29,6 +30,48 @@ ProbeDesign design_probe_process(Rng& rng, SlotIndex total_slots,
         std::unique(design.probe_slots.begin(), design.probe_slots.end()),
         design.probe_slots.end());
     return design;
+}
+
+StreamingExperimentScorer::StreamingExperimentScorer(Rng rng, const ProbeProcessConfig& cfg,
+                                                     ReportSink& sink)
+    : rng_{std::move(rng)}, cfg_{cfg}, sink_{&sink} {
+    if (cfg_.p <= 0.0 || cfg_.p > 1.0) {
+        throw std::invalid_argument{"probe process: p must be in (0, 1]"};
+    }
+    if (cfg_.extended_fraction < 0.0 || cfg_.extended_fraction > 1.0) {
+        throw std::invalid_argument{"probe process: extended_fraction must be in [0, 1]"};
+    }
+}
+
+void StreamingExperimentScorer::step(bool congested) {
+    // Same per-slot draw order as design_probe_process: the start decision,
+    // then (only if started and improved) the basic-vs-extended decision.
+    if (rng_.bernoulli(cfg_.p)) {
+        const bool extended = cfg_.improved && rng_.bernoulli(cfg_.extended_fraction);
+        pending_[static_cast<std::size_t>(pending_count_++)] = Pending{
+            slot_, extended ? ExperimentKind::extended : ExperimentKind::basic, 0, 0};
+        ++started_;
+    }
+
+    // Fold this slot's state into every pending experiment; emit the ones it
+    // completes.  Pending entries are in start order, so completions (which
+    // can only come from the oldest entries) are emitted in start order too,
+    // matching the batch scorer.
+    int kept = 0;
+    for (int i = 0; i < pending_count_; ++i) {
+        Pending& p = pending_[static_cast<std::size_t>(i)];
+        p.code = static_cast<std::uint8_t>((p.code << 1) | (congested ? 1 : 0));
+        ++p.digits;
+        const int span = p.kind == ExperimentKind::basic ? 2 : 3;
+        if (p.digits == span) {
+            sink_->consume({p.kind, p.code});
+            ++completed_;
+        } else {
+            pending_[static_cast<std::size_t>(kept++)] = p;
+        }
+    }
+    pending_count_ = kept;
+    ++slot_;
 }
 
 double expected_probe_slot_fraction(const ProbeProcessConfig& cfg) noexcept {

@@ -6,9 +6,11 @@
 #ifndef BB_CORE_PROBE_PROCESS_H
 #define BB_CORE_PROBE_PROCESS_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "core/report_sink.h"
 #include "core/types.h"
 #include "util/rng.h"
 
@@ -33,25 +35,78 @@ struct ProbeProcessConfig {
 // overlapping experiments, which only reduces it).
 [[nodiscard]] double expected_probe_slot_fraction(const ProbeProcessConfig& cfg) noexcept;
 
-// Turn a design plus a per-slot congestion marking into experiment reports.
-// `congested(slot)` must return the mark for every slot in probe_slots.
+// Turn a design plus a per-slot congestion marking into experiment reports,
+// streamed into `sink` in start-slot order.  `congested(slot)` must return
+// the mark for every slot in probe_slots.
+template <typename MarkFn>
+void score_experiments_into(const std::vector<Experiment>& experiments, MarkFn&& congested,
+                            ReportSink& sink) {
+    for (const auto& e : experiments) {
+        if (e.kind == ExperimentKind::basic) {
+            sink.consume({ExperimentKind::basic,
+                          basic_code(congested(e.start_slot), congested(e.start_slot + 1))});
+        } else {
+            sink.consume({ExperimentKind::extended,
+                          extended_code(congested(e.start_slot), congested(e.start_slot + 1),
+                                        congested(e.start_slot + 2))});
+        }
+    }
+}
+
+// Batch wrapper around the streaming scorer.
 template <typename MarkFn>
 [[nodiscard]] std::vector<ExperimentResult> score_experiments(
     const std::vector<Experiment>& experiments, MarkFn&& congested) {
-    std::vector<ExperimentResult> out;
-    out.reserve(experiments.size());
-    for (const auto& e : experiments) {
-        if (e.kind == ExperimentKind::basic) {
-            out.push_back({ExperimentKind::basic,
-                           basic_code(congested(e.start_slot), congested(e.start_slot + 1))});
-        } else {
-            out.push_back({ExperimentKind::extended,
-                           extended_code(congested(e.start_slot), congested(e.start_slot + 1),
-                                         congested(e.start_slot + 2))});
-        }
-    }
-    return out;
+    VectorSink<ExperimentResult> sink;
+    sink.reserve(experiments.size());
+    score_experiments_into(experiments, congested, sink);
+    return sink.take();
 }
+
+// Fully streaming design + scoring: makes the per-slot Bernoulli(p) decision
+// online and emits each experiment's report into `sink` as soon as its last
+// slot's congestion state is known, so no design or report vector is ever
+// materialized — memory is O(1) regardless of run length.
+//
+// Feeding step(congested) once per slot, in slot order, with the Rng the
+// batch path would hand to design_probe_process, produces a report stream
+// bit-identical to design_probe_process + score_experiments: the RNG draw
+// order per slot is the same, and experiments still pending when the caller
+// stops stepping are discarded exactly like the batch designer's "keep every
+// experiment fully inside the window" rule.
+class StreamingExperimentScorer {
+public:
+    StreamingExperimentScorer(Rng rng, const ProbeProcessConfig& cfg, ReportSink& sink);
+
+    // Consume the congestion state of slot `slots_seen()` (states must arrive
+    // in slot order, one call per slot).
+    void step(bool congested);
+
+    [[nodiscard]] SlotIndex slots_seen() const noexcept { return slot_; }
+    [[nodiscard]] std::uint64_t experiments_started() const noexcept { return started_; }
+    [[nodiscard]] std::uint64_t experiments_completed() const noexcept { return completed_; }
+    // Experiments started but still awaiting slots (dropped if never fed).
+    [[nodiscard]] int experiments_pending() const noexcept { return pending_count_; }
+
+private:
+    struct Pending {
+        SlotIndex start{0};
+        ExperimentKind kind{ExperimentKind::basic};
+        std::uint8_t code{0};
+        int digits{0};
+    };
+
+    Rng rng_;
+    ProbeProcessConfig cfg_;
+    ReportSink* sink_;
+    SlotIndex slot_{0};
+    std::uint64_t started_{0};
+    std::uint64_t completed_{0};
+    // Experiments span at most 3 slots, so at most 3 can be pending at once
+    // (starts at slots s-2, s-1, s); kept sorted by start slot.
+    std::array<Pending, 3> pending_{};
+    int pending_count_{0};
+};
 
 }  // namespace bb::core
 

@@ -1,0 +1,75 @@
+#include "core/streaming.h"
+
+namespace bb::core {
+
+void OnlineFrequency::consume(const ExperimentResult& r) {
+    if (r.kind == ExperimentKind::basic) {
+        ++samples_;
+        if ((r.code & 0b10) != 0) ++ones_;
+    } else if (opts_.frequency_from_extended) {
+        ++samples_;
+        if ((r.code & 0b100) != 0) ++ones_;
+    }
+}
+
+FrequencyEstimate OnlineFrequency::finalize() const {
+    FrequencyEstimate est;
+    est.samples = samples_;
+    est.value = samples_ > 0
+                    ? static_cast<double>(ones_) / static_cast<double>(samples_)
+                    : 0.0;
+    return est;
+}
+
+void OnlineDuration::consume(const ExperimentResult& r) {
+    if (r.kind == ExperimentKind::basic) {
+        const std::uint8_t code = r.code & 0x3;
+        if (code != 0b00) ++R_;
+        if (code == 0b01 || code == 0b10) ++S_;
+        return;
+    }
+    const std::uint8_t code = r.code & 0x7;
+    if (code == 0b011 || code == 0b110) ++U_;
+    if (code == 0b001 || code == 0b100) ++V_;
+    if (opts_.pairs_from_extended) {
+        const bool d0 = (code & 0b100) != 0;
+        const bool d1 = (code & 0b010) != 0;
+        if (d0 || d1) ++R_;
+        if (d0 != d1) ++S_;
+    }
+}
+
+DurationEstimate OnlineDuration::finalize_basic() const {
+    DurationEstimate est;
+    est.R = R_;
+    est.S = S_;
+    if (S_ == 0) return est;
+    est.slots = 2.0 * (static_cast<double>(R_) / static_cast<double>(S_) - 1.0) + 1.0;
+    est.valid = true;
+    return est;
+}
+
+DurationEstimate OnlineDuration::finalize_improved() const {
+    DurationEstimate est;
+    est.R = R_;
+    est.S = S_;
+    if (S_ == 0 || U_ == 0) return est;
+    est.r_hat = static_cast<double>(U_) / static_cast<double>(V_ == 0 ? 1 : V_);
+    est.slots = (2.0 * static_cast<double>(V_ == 0 ? 1 : V_) / static_cast<double>(U_)) *
+                    (static_cast<double>(R_) / static_cast<double>(S_) - 1.0) +
+                1.0;
+    est.valid = true;
+    return est;
+}
+
+StreamingAnalyzer::Result StreamingAnalyzer::finalize() const {
+    Result res;
+    res.frequency = frequency_.finalize();
+    res.duration_basic = duration_.finalize_basic();
+    res.duration_improved = duration_.finalize_improved();
+    res.validation = validation_.finalize();
+    res.reports = reports_;
+    return res;
+}
+
+}  // namespace bb::core

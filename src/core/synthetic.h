@@ -29,6 +29,45 @@ struct SeriesTruth {
 };
 [[nodiscard]] SeriesTruth series_truth(const std::vector<bool>& series);
 
+// Streaming form of synth_congestion_series: draws the same alternating
+// geometric sojourns from the same Rng stream, one slot per next() call, in
+// O(1) memory.  Constructed from a copy of the Rng the batch function would
+// receive, the emitted slot sequence is bit-identical to the batch vector
+// (the batch function truncates its final run at total_slots; here the
+// caller simply stops calling next()).
+class SyntheticSeriesGen {
+public:
+    SyntheticSeriesGen(Rng rng, double mean_on_slots, double mean_off_slots);
+
+    // State of the next slot in sequence.
+    [[nodiscard]] bool next();
+
+private:
+    [[nodiscard]] SlotIndex draw_sojourn(double mean);
+
+    Rng rng_;
+    double mean_on_slots_;
+    double mean_off_slots_;
+    bool on_;
+    SlotIndex remaining_{0};
+};
+
+// Online fold of a slot series into its oracle truth; finalize() is
+// bit-identical to series_truth over the same slots.
+class SeriesTruthAccumulator {
+public:
+    void consume(bool congested);
+    [[nodiscard]] SeriesTruth finalize() const;
+    [[nodiscard]] std::uint64_t slots() const noexcept { return slots_; }
+
+private:
+    std::uint64_t slots_{0};
+    std::uint64_t congested_{0};
+    std::uint64_t episodes_{0};
+    std::uint64_t run_{0};
+    std::uint64_t run_total_{0};
+};
+
 // Apply the fidelity model to a set of experiments against the true series.
 struct FidelityModel {
     double p1{1.0};  // P(report correct | one congested slot in Y)

@@ -75,9 +75,8 @@ void write_trace(std::ostream& out, const std::vector<ProbeOutcome>& probes) {
     }
 }
 
-std::vector<ProbeOutcome> read_trace(std::istream& in) {
+void for_each_trace_record(std::istream& in, OutcomeSink& sink) {
     expect_magic(in, kTraceMagic);
-    std::vector<ProbeOutcome> probes;
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty() || line[0] == '#') continue;
@@ -89,9 +88,19 @@ std::vector<ProbeOutcome> read_trace(std::istream& in) {
         p.packets_lost = static_cast<int>(f[3]);
         p.max_owd = TimeNs{f[4]};
         p.any_received = f[5] != 0;
-        probes.push_back(p);
+        sink.consume(p);
     }
-    return probes;
+}
+
+void for_each_trace_record_file(const std::string& path, OutcomeSink& sink) {
+    auto in = open_in(path);
+    for_each_trace_record(in, sink);
+}
+
+std::vector<ProbeOutcome> read_trace(std::istream& in) {
+    VectorSink<ProbeOutcome> sink;
+    for_each_trace_record(in, sink);
+    return sink.take();
 }
 
 void write_trace_file(const std::string& path, const std::vector<ProbeOutcome>& probes) {
@@ -112,9 +121,8 @@ void write_design(std::ostream& out, const std::vector<Experiment>& experiments)
     }
 }
 
-std::vector<Experiment> read_design(std::istream& in) {
+void for_each_design_record(std::istream& in, Sink<Experiment>& sink) {
     expect_magic(in, kDesignMagic);
-    std::vector<Experiment> experiments;
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty() || line[0] == '#') continue;
@@ -122,9 +130,19 @@ std::vector<Experiment> read_design(std::istream& in) {
         Experiment e;
         e.start_slot = f[0];
         e.kind = f[1] != 0 ? ExperimentKind::extended : ExperimentKind::basic;
-        experiments.push_back(e);
+        sink.consume(e);
     }
-    return experiments;
+}
+
+void for_each_design_record_file(const std::string& path, Sink<Experiment>& sink) {
+    auto in = open_in(path);
+    for_each_design_record(in, sink);
+}
+
+std::vector<Experiment> read_design(std::istream& in) {
+    VectorSink<Experiment> sink;
+    for_each_design_record(in, sink);
+    return sink.take();
 }
 
 void write_design_file(const std::string& path, const std::vector<Experiment>& experiments) {

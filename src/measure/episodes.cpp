@@ -116,6 +116,57 @@ std::vector<bool> congestion_slots(const std::vector<LossEpisode>& episodes, Tim
     return slots;
 }
 
+void EpisodeAccumulator::add_drop(TimeNs at) {
+    ++drops_seen_;
+    if (!open_) {
+        current_ = LossEpisode{at, at, 1};
+        open_ = true;
+        return;
+    }
+    if (at - current_.end <= cfg_.gap) {
+        current_.end = at;
+        ++current_.drops;
+    } else {
+        fold_episode(closed_, current_);
+        current_ = LossEpisode{at, at, 1};
+    }
+}
+
+void EpisodeAccumulator::fold_episode(Fold& fold, const LossEpisode& e) const {
+    // Same window filter and slot clamping as summarize_truth.
+    if (cfg_.window_end <= cfg_.window_begin || cfg_.slot_width.ns() <= 0) return;
+    const std::int64_t total_slots = (cfg_.window_end - cfg_.window_begin) / cfg_.slot_width;
+    if (total_slots <= 0) return;
+    if (e.end < cfg_.window_begin || e.start >= cfg_.window_end) return;
+    const TimeNs lo = std::max(e.start, cfg_.window_begin);
+    const TimeNs hi = std::min(e.end, cfg_.window_end);
+    const std::int64_t first = (lo - cfg_.window_begin) / cfg_.slot_width;
+    const std::int64_t last =
+        std::min((hi - cfg_.window_begin) / cfg_.slot_width, total_slots - 1);
+    fold.congested_slots += (last - first + 1);
+    fold.durations.add(e.duration().to_seconds());
+    ++fold.episodes;
+    fold.drops += e.drops;
+}
+
+TruthSummary EpisodeAccumulator::finalize() const {
+    TruthSummary s;
+    if (cfg_.window_end <= cfg_.window_begin || cfg_.slot_width.ns() <= 0) return s;
+    const std::int64_t total_slots = (cfg_.window_end - cfg_.window_begin) / cfg_.slot_width;
+    if (total_slots <= 0) return s;
+
+    Fold fold = closed_;
+    if (open_) fold_episode(fold, current_);
+
+    const std::int64_t congested = std::min(fold.congested_slots, total_slots);
+    s.frequency = static_cast<double>(congested) / static_cast<double>(total_slots);
+    s.mean_duration_s = fold.durations.mean();
+    s.sd_duration_s = fold.durations.stddev();
+    s.episodes = fold.episodes;
+    s.total_drops = fold.drops;
+    return s;
+}
+
 std::vector<std::pair<std::int64_t, std::int64_t>> episode_slot_intervals(
     const std::vector<LossEpisode>& episodes, TimeNs slot_width, TimeNs window_begin) {
     std::vector<std::pair<std::int64_t, std::int64_t>> out;

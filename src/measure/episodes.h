@@ -7,10 +7,12 @@
 #ifndef BB_MEASURE_EPISODES_H
 #define BB_MEASURE_EPISODES_H
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "util/stats.h"
 #include "util/time.h"
 
 namespace bb::measure {
@@ -67,6 +69,49 @@ struct TruthSummary {
 // discretization (input to core::match_episodes).
 [[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>> episode_slot_intervals(
     const std::vector<LossEpisode>& episodes, TimeNs slot_width, TimeNs window_begin);
+
+// Online gap-rule episode clustering plus truth summarization over a fixed
+// observation window, in O(1) memory: feed drop timestamps one at a time (in
+// time order) instead of storing the full drop log.  finalize() is
+// bit-identical to extract_episodes + summarize_truth over the same drops —
+// episodes are folded into the summary in the same order with the same
+// window filtering/clamping arithmetic.  (The delay-based web heuristic
+// needs the departure record and stays batch-only.)
+class EpisodeAccumulator {
+public:
+    struct Config {
+        TimeNs gap{milliseconds(100)};      // quiet period terminating an episode
+        TimeNs slot_width{milliseconds(5)};
+        TimeNs window_begin{TimeNs::zero()};
+        TimeNs window_end{TimeNs::zero()};
+    };
+
+    explicit EpisodeAccumulator(Config cfg) : cfg_{cfg} {}
+
+    // Drop timestamps must be non-decreasing (the natural event order).
+    void add_drop(TimeNs at);
+
+    [[nodiscard]] TruthSummary finalize() const;
+
+    [[nodiscard]] std::uint64_t drops_seen() const noexcept { return drops_seen_; }
+    [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+private:
+    struct Fold {
+        std::int64_t congested_slots{0};
+        RunningStats durations;
+        std::size_t episodes{0};
+        std::uint64_t drops{0};
+    };
+
+    void fold_episode(Fold& fold, const LossEpisode& e) const;
+
+    Config cfg_;
+    LossEpisode current_{};
+    bool open_{false};
+    std::uint64_t drops_seen_{0};
+    Fold closed_{};
+};
 
 }  // namespace bb::measure
 

@@ -5,6 +5,7 @@ namespace bb::measure {
 LossMonitor::LossMonitor(sim::Scheduler& sched, sim::QueueBase& queue, Options opts)
     : queue_{&queue}, opts_{opts} {
     (void)sched;
+    if (opts_.streaming_truth) truth_acc_.emplace(*opts_.streaming_truth);
     queue.on_drop([this](const sim::QueueEvent& ev) {
         const bool is_probe = ev.pkt.kind == sim::PacketKind::probe;
         if (is_probe) {
@@ -13,7 +14,9 @@ LossMonitor::LossMonitor(sim::Scheduler& sched, sim::QueueBase& queue, Options o
             ++cross_drops_;
         }
         if (is_probe && !opts_.count_probe_traffic) return;
-        drops_.push_back(ev.at);
+        ++drops_count_;
+        if (truth_acc_) truth_acc_->add_drop(ev.at);
+        if (opts_.store_drops) drops_.push_back(ev.at);
     });
     queue.on_enqueue([this](const sim::QueueEvent& ev) {
         if (opts_.record_departures) enqueue_time_[ev.pkt.id] = ev.at;
@@ -29,7 +32,7 @@ LossMonitor::LossMonitor(sim::Scheduler& sched, sim::QueueBase& queue, Options o
 }
 
 double LossMonitor::router_loss_rate() const noexcept {
-    const auto lost = static_cast<double>(drops_.size());
+    const auto lost = static_cast<double>(drops_count_);
     const auto total = lost + static_cast<double>(successes_);
     return total > 0 ? lost / total : 0.0;
 }

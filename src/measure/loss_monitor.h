@@ -5,6 +5,7 @@
 #define BB_MEASURE_LOSS_MONITOR_H
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -18,11 +19,18 @@ namespace bb::measure {
 // Records every drop and, optionally, per-packet queueing delays at the
 // bottleneck.  Registration happens in the constructor; the monitor must
 // outlive the queue's last event.
+//
+// With `streaming_truth` configured the monitor also feeds each drop into an
+// online EpisodeAccumulator as it happens; combined with store_drops=false
+// this bounds the monitor's memory regardless of run length (the raw drop
+// log — and thus episodes()/drop_times() — is then unavailable).
 class LossMonitor {
 public:
     struct Options {
         bool record_departures{false};  // needed for the delay-based heuristic
         bool count_probe_traffic{true};  // include probe packets in "truth"
+        bool store_drops{true};          // keep the raw drop log (batch APIs)
+        std::optional<EpisodeAccumulator::Config> streaming_truth;
     };
 
     LossMonitor(sim::Scheduler& sched, sim::QueueBase& queue, Options opts);
@@ -36,7 +44,7 @@ public:
     [[nodiscard]] const std::vector<DelayedDeparture>& departures() const noexcept {
         return departures_;
     }
-    [[nodiscard]] std::uint64_t drops_total() const noexcept { return drops_.size(); }
+    [[nodiscard]] std::uint64_t drops_total() const noexcept { return drops_count_; }
     [[nodiscard]] std::uint64_t cross_traffic_drops() const noexcept {
         return cross_drops_;
     }
@@ -56,12 +64,21 @@ public:
         return extract_episodes_delay_based(drops_, departures_, delay_floor, gap);
     }
 
+    // The online gap-rule truth accumulator, or nullptr when not configured.
+    // finalize() on it is bit-identical to episodes(gap) + summarize_truth
+    // over the configured window.
+    [[nodiscard]] const EpisodeAccumulator* streaming_truth() const noexcept {
+        return truth_acc_ ? &*truth_acc_ : nullptr;
+    }
+
 private:
     sim::QueueBase* queue_;
     Options opts_;
     std::vector<TimeNs> drops_;
     std::vector<DelayedDeparture> departures_;
     std::unordered_map<std::uint64_t, TimeNs> enqueue_time_;
+    std::optional<EpisodeAccumulator> truth_acc_;
+    std::uint64_t drops_count_{0};
     std::uint64_t cross_drops_{0};
     std::uint64_t probe_drops_{0};
     std::uint64_t successes_{0};

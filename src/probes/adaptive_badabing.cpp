@@ -123,14 +123,15 @@ core::StateCounts AdaptiveBadabingTool::counts_up_to(TimeNs horizon) const {
     for (const auto& e : experiments_) {
         if (e.start_slot + e.probes() - 1 <= last_settled) complete.push_back(e);
     }
-    core::StateCounts counts;
-    for (const auto& r : core::score_experiments(complete, [&congested](core::SlotIndex s) {
-             const auto it = congested.find(s);
-             return it != congested.end() && it->second;
-         })) {
-        counts.add(r);
-    }
-    return counts;
+    core::CountsSink counts;
+    core::score_experiments_into(
+        complete,
+        [&congested](core::SlotIndex s) {
+            const auto it = congested.find(s);
+            return it != congested.end() && it->second;
+        },
+        counts);
+    return counts.counts();
 }
 
 void AdaptiveBadabingTool::evaluate() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "core/streaming.h"
+
 namespace bb::probes {
 
 namespace {
@@ -64,9 +66,7 @@ void BadabingTool::accept(const sim::Packet& pkt) {
     rec.max_owd = std::max(rec.max_owd, owd);
 }
 
-std::vector<core::ProbeOutcome> BadabingTool::outcomes() const {
-    std::vector<core::ProbeOutcome> out;
-    out.reserve(design_.probe_slots.size());
+void BadabingTool::stream_outcomes(core::OutcomeSink& sink) const {
     for (const core::SlotIndex slot : design_.probe_slots) {
         core::ProbeOutcome po;
         po.slot = slot;
@@ -80,14 +80,19 @@ std::vector<core::ProbeOutcome> BadabingTool::outcomes() const {
             po.packets_lost = cfg_.packets_per_probe;
             po.any_received = false;
         }
-        out.push_back(po);
+        sink.consume(po);
     }
-    return out;
 }
 
-BadabingResult BadabingTool::analyze(const core::MarkingConfig& marking,
-                                     core::EstimatorOptions opts) const {
-    BadabingResult res;
+std::vector<core::ProbeOutcome> BadabingTool::outcomes() const {
+    core::VectorSink<core::ProbeOutcome> sink;
+    sink.reserve(design_.probe_slots.size());
+    stream_outcomes(sink);
+    return sink.take();
+}
+
+void BadabingTool::emit_reports(const core::MarkingConfig& marking,
+                                core::ReportSink& sink) const {
     const std::vector<core::ProbeOutcome> probe_outcomes = outcomes();
 
     core::CongestionMarker marker{marking};
@@ -97,26 +102,36 @@ BadabingResult BadabingTool::analyze(const core::MarkingConfig& marking,
     congested.reserve(marks.size());
     for (const auto& m : marks) congested[m.slot] = m.congested;
 
-    const auto results = core::score_experiments(
+    core::score_experiments_into(
         design_.experiments,
         [&congested](core::SlotIndex s) {
             const auto it = congested.find(s);
             return it != congested.end() && it->second;
-        });
+        },
+        sink);
+}
 
-    for (const auto& r : results) res.counts.add(r);
-    res.frequency = core::estimate_frequency(res.counts, opts);
-    res.duration_basic = core::estimate_duration_basic(res.counts, opts);
-    res.duration_improved = core::estimate_duration_improved(res.counts, opts);
-    res.validation = core::validate(res.counts);
+BadabingResult BadabingTool::analyze(const core::MarkingConfig& marking,
+                                     core::EstimatorOptions opts) const {
+    BadabingResult res;
+    core::StreamingAnalyzer analyzer{opts};
+    emit_reports(marking, analyzer);
+
+    const core::StreamingAnalyzer::Result summary = analyzer.finalize();
+    res.counts = analyzer.counts();
+    res.frequency = summary.frequency;
+    res.duration_basic = summary.duration_basic;
+    res.duration_improved = summary.duration_improved;
+    res.validation = summary.validation;
 
     res.probes_sent = probes_sent_;
     res.packets_sent = packets_sent_;
     res.bytes_sent = bytes_sent_;
     res.experiments = design_.experiments.size();
-    for (const auto& po : probe_outcomes) {
+    auto count_lost = core::make_fn_sink<core::ProbeOutcome>([&res](const core::ProbeOutcome& po) {
         res.packets_lost += static_cast<std::uint64_t>(po.packets_lost);
-    }
+    });
+    stream_outcomes(count_lost);
     return res;
 }
 
@@ -171,9 +186,7 @@ void FixedIntervalProber::accept(const sim::Packet& pkt) {
     max_owd_[idx] = std::max(max_owd_[idx], sched_->now() - pkt.sent_at);
 }
 
-std::vector<core::ProbeOutcome> FixedIntervalProber::outcomes() const {
-    std::vector<core::ProbeOutcome> out;
-    out.reserve(send_times_.size());
+void FixedIntervalProber::stream_outcomes(core::OutcomeSink& sink) const {
     for (std::size_t i = 0; i < send_times_.size(); ++i) {
         core::ProbeOutcome po;
         po.slot = static_cast<core::SlotIndex>(i);
@@ -182,9 +195,15 @@ std::vector<core::ProbeOutcome> FixedIntervalProber::outcomes() const {
         po.packets_lost = cfg_.packets_per_probe - received_[i];
         po.max_owd = max_owd_[i];
         po.any_received = received_[i] > 0;
-        out.push_back(po);
+        sink.consume(po);
     }
-    return out;
+}
+
+std::vector<core::ProbeOutcome> FixedIntervalProber::outcomes() const {
+    core::VectorSink<core::ProbeOutcome> sink;
+    sink.reserve(send_times_.size());
+    stream_outcomes(sink);
+    return sink.take();
 }
 
 }  // namespace bb::probes

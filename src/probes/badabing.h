@@ -17,6 +17,7 @@
 #include "core/estimators.h"
 #include "core/marking.h"
 #include "core/probe_process.h"
+#include "core/report_sink.h"
 #include "core/types.h"
 #include "core/validation.h"
 #include "sim/packet.h"
@@ -85,6 +86,13 @@ public:
     // Raw probe outcomes (sorted by send time), for custom analyses.
     [[nodiscard]] std::vector<core::ProbeOutcome> outcomes() const;
 
+    // Streaming forms: push each outcome / scored experiment report into a
+    // sink instead of materializing a vector.  emit_reports still marks over
+    // the full outcome record internally (the tau/alpha marker is two-pass),
+    // but the report consumer runs in O(1) memory.
+    void stream_outcomes(core::OutcomeSink& sink) const;
+    void emit_reports(const core::MarkingConfig& marking, core::ReportSink& sink) const;
+
     [[nodiscard]] const core::ProbeDesign& design() const noexcept { return design_; }
     [[nodiscard]] std::int64_t bytes_sent() const noexcept { return bytes_sent_; }
     [[nodiscard]] TimeNs slot_width() const noexcept { return cfg_.slot_width; }
@@ -135,6 +143,7 @@ public:
 
     // Outcomes sorted by send time; `slot` is the probe's ordinal number.
     [[nodiscard]] std::vector<core::ProbeOutcome> outcomes() const;
+    void stream_outcomes(core::OutcomeSink& sink) const;
 
 private:
     void emit();

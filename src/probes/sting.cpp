@@ -28,6 +28,9 @@ void StingProber::start_burst() {
     in_burst_ = true;
     filling_ = false;
     last_hole_ = -1;
+    burst_start_data_ = data_packets_;
+    burst_start_holes_ = holes_filled_;
+    burst_start_retx_ = retransmissions_;
     burst_base_ = cum_ack_;  // sequence space continues across bursts
     burst_end_ = burst_base_ + static_cast<std::int64_t>(cfg_.burst_segments) *
                                    cfg_.segment_bytes;
@@ -100,6 +103,15 @@ void StingProber::finish_burst() {
     in_burst_ = false;
     filling_ = false;
     disarm_rto();
+    if (burst_sink_) {
+        StingBurstReport report;
+        report.burst_index = bursts_completed_;
+        report.data_packets = data_packets_ - burst_start_data_;
+        report.holes_filled = holes_filled_ - burst_start_holes_;
+        report.retransmissions = retransmissions_ - burst_start_retx_;
+        report.completed_at = sched_->now();
+        burst_sink_->consume(report);
+    }
     ++bursts_completed_;
     sched_->schedule_after(cfg_.burst_interval, [this] { start_burst(); });
 }

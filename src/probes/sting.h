@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/report_sink.h"
 #include "sim/packet.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -31,6 +32,23 @@ struct StingResult {
     std::uint64_t retransmissions{0};
     std::size_t bursts_completed{0};
     double forward_loss_rate{0.0};   // holes / data_packets
+};
+
+// Per-burst deltas, streamed to an optional sink as each burst completes so
+// long-running STING sessions can report incrementally instead of only via
+// the cumulative result().
+struct StingBurstReport {
+    std::size_t burst_index{0};      // 0-based completion order
+    std::uint64_t data_packets{0};   // seeded in this burst
+    std::uint64_t holes_filled{0};
+    std::uint64_t retransmissions{0};
+    TimeNs completed_at{TimeNs::zero()};
+
+    [[nodiscard]] double loss_rate() const noexcept {
+        return data_packets > 0
+                   ? static_cast<double>(holes_filled) / static_cast<double>(data_packets)
+                   : 0.0;
+    }
 };
 
 // The sender half.  Wire its output toward the bottleneck and bind a
@@ -65,6 +83,12 @@ public:
     [[nodiscard]] StingResult result() const;
     [[nodiscard]] bool burst_in_progress() const noexcept { return in_burst_; }
 
+    // Stream per-burst reports into `sink` as bursts complete.  The sink must
+    // outlive the prober (or be cleared with set_burst_sink(nullptr)).
+    void set_burst_sink(core::Sink<StingBurstReport>* sink) noexcept {
+        burst_sink_ = sink;
+    }
+
 private:
     void start_burst();
     void send_segment(std::int64_t seq, bool retransmission);
@@ -93,6 +117,12 @@ private:
     std::uint64_t holes_filled_{0};
     std::uint64_t retransmissions_{0};
     std::size_t bursts_completed_{0};
+
+    // Cumulative counters snapshotted at burst start, for per-burst deltas.
+    std::uint64_t burst_start_data_{0};
+    std::uint64_t burst_start_holes_{0};
+    std::uint64_t burst_start_retx_{0};
+    core::Sink<StingBurstReport>* burst_sink_{nullptr};
 };
 
 }  // namespace bb::probes

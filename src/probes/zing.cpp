@@ -1,5 +1,6 @@
 #include "probes/zing.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace bb::probes {
@@ -45,9 +46,7 @@ void ZingProber::accept(const sim::Packet& pkt) {
     }
 }
 
-std::vector<core::ProbeOutcome> ZingProber::outcomes() const {
-    std::vector<core::ProbeOutcome> out;
-    out.reserve(send_times_.size());
+void ZingProber::stream_outcomes(core::OutcomeSink& sink) const {
     for (std::size_t i = 0; i < send_times_.size(); ++i) {
         core::ProbeOutcome po;
         po.slot = static_cast<core::SlotIndex>(i);
@@ -56,39 +55,52 @@ std::vector<core::ProbeOutcome> ZingProber::outcomes() const {
         po.packets_lost = received_[i] ? 0 : 1;
         po.max_owd = owd_[i];
         po.any_received = received_[i];
-        out.push_back(po);
+        sink.consume(po);
     }
-    return out;
+}
+
+std::vector<core::ProbeOutcome> ZingProber::outcomes() const {
+    core::VectorSink<core::ProbeOutcome> sink;
+    sink.reserve(send_times_.size());
+    stream_outcomes(sink);
+    return sink.take();
 }
 
 ZingResult ZingProber::result() const {
-    ZingResult res;
-    res.sent = send_times_.size();
-    RunningStats durations;
+    ZingRunAccumulator acc;
+    stream_outcomes(acc);
+    return acc.finalize();
+}
 
-    std::size_t run_start = 0;
-    std::uint64_t run_len = 0;
-    for (std::size_t i = 0; i < received_.size(); ++i) {
-        if (received_[i]) {
-            ++res.received;
-            if (run_len > 0) {
-                durations.add((send_times_[i - 1] - send_times_[run_start]).to_seconds());
-                res.max_run_length = std::max(res.max_run_length, run_len);
-                ++res.loss_runs;
-                run_len = 0;
-            }
-        } else {
-            ++res.lost;
-            if (run_len == 0) run_start = i;
-            ++run_len;
+void ZingRunAccumulator::consume(const core::ProbeOutcome& po) {
+    ++partial_.sent;
+    if (po.any_received) {
+        ++partial_.received;
+        if (run_len_ > 0) {
+            // A run closes on the first received probe after it; its span is
+            // first-lost .. last-lost, exactly the batch send_times_[i-1]
+            // minus send_times_[run_start].
+            durations_.add((last_lost_ - run_start_).to_seconds());
+            partial_.max_run_length = std::max(partial_.max_run_length, run_len_);
+            ++partial_.loss_runs;
+            run_len_ = 0;
         }
+    } else {
+        ++partial_.lost;
+        if (run_len_ == 0) run_start_ = po.send_time;
+        last_lost_ = po.send_time;
+        ++run_len_;
     }
-    if (run_len > 0) {
-        durations.add((send_times_.back() - send_times_[run_start]).to_seconds());
-        res.max_run_length = std::max(res.max_run_length, run_len);
+}
+
+ZingResult ZingRunAccumulator::finalize() const {
+    ZingResult res = partial_;
+    RunningStats durations = durations_;
+    if (run_len_ > 0) {
+        durations.add((last_lost_ - run_start_).to_seconds());
+        res.max_run_length = std::max(res.max_run_length, run_len_);
         ++res.loss_runs;
     }
-
     res.loss_frequency =
         res.sent > 0 ? static_cast<double>(res.lost) / static_cast<double>(res.sent) : 0.0;
     res.mean_duration_s = durations.mean();

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/report_sink.h"
 #include "core/types.h"
 #include "sim/packet.h"
 #include "sim/scheduler.h"
@@ -54,6 +55,7 @@ public:
     // Per-probe records (ZING measured one-way delay as well as loss, §4.2);
     // feed these to core::summarize_delays for the delay view of the path.
     [[nodiscard]] std::vector<core::ProbeOutcome> outcomes() const;
+    void stream_outcomes(core::OutcomeSink& sink) const;
 
     [[nodiscard]] std::uint64_t probes_sent() const noexcept { return send_times_.size(); }
     [[nodiscard]] std::int64_t bytes_sent() const noexcept { return bytes_sent_; }
@@ -71,6 +73,24 @@ private:
     std::vector<bool> received_;       // indexed by probe sequence
     std::vector<TimeNs> owd_;          // one-way delay of received probes
     std::int64_t bytes_sent_{0};
+};
+
+// Online form of the ZING loss-run analysis: consume probe outcomes in send
+// order and fold consecutive-loss runs as they close, so the classical
+// estimator too runs in O(1) memory.  finalize() is bit-identical to
+// ZingProber::result() over the same outcome sequence.
+class ZingRunAccumulator final : public core::OutcomeSink {
+public:
+    void consume(const core::ProbeOutcome& po) override;
+
+    [[nodiscard]] ZingResult finalize() const;
+
+private:
+    ZingResult partial_{};       // running sent/received/lost/runs tallies
+    RunningStats durations_;
+    TimeNs run_start_{TimeNs::zero()};
+    TimeNs last_lost_{TimeNs::zero()};
+    std::uint64_t run_len_{0};
 };
 
 }  // namespace bb::probes

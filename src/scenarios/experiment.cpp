@@ -18,14 +18,33 @@ double alpha_for_probe_rate(double p) noexcept {
     return 0.5;
 }
 
+namespace {
+
+measure::LossMonitor::Options monitor_options(const TruthConfig& truth_cfg,
+                                              const WorkloadConfig& wl_cfg) {
+    measure::LossMonitor::Options opts;
+    opts.record_departures = truth_cfg.delay_based;
+    opts.count_probe_traffic = true;
+    // The gap-rule truth can always be maintained online; the delay-based
+    // heuristic needs the full drop/departure record, so bounded-memory mode
+    // only drops the raw log when the heuristic is off.
+    if (!truth_cfg.delay_based) {
+        opts.streaming_truth = measure::EpisodeAccumulator::Config{
+            truth_cfg.episode_gap, truth_cfg.slot_width, TimeNs::zero(), wl_cfg.duration};
+        opts.store_drops = !truth_cfg.bounded_memory;
+    }
+    return opts;
+}
+
+}  // namespace
+
 Experiment::Experiment(const TestbedConfig& tb_cfg, const WorkloadConfig& wl_cfg,
                        TruthConfig truth_cfg)
     : workload_cfg_{wl_cfg},
       truth_cfg_{truth_cfg},
       testbed_{tb_cfg},
-      monitor_{std::make_unique<measure::LossMonitor>(
-          testbed_.sched(), testbed_.bottleneck(),
-          measure::LossMonitor::Options{truth_cfg.delay_based, /*count_probe_traffic=*/true})},
+      monitor_{std::make_unique<measure::LossMonitor>(testbed_.sched(), testbed_.bottleneck(),
+                                                      monitor_options(truth_cfg, wl_cfg))},
       workload_{testbed_, wl_cfg} {}
 
 probes::ZingProber& Experiment::add_zing(const probes::ZingProber::Config& cfg) {
@@ -82,6 +101,7 @@ std::vector<measure::LossEpisode> Experiment::episodes() const {
 }
 
 measure::TruthSummary Experiment::truth() const {
+    if (const auto* acc = monitor_->streaming_truth()) return acc->finalize();
     return measure::summarize_truth(episodes(), truth_cfg_.slot_width, TimeNs::zero(),
                                     workload_cfg_.duration);
 }

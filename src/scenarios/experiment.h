@@ -23,6 +23,11 @@ struct TruthConfig {
     // bursty web scenario, §4.2).
     bool delay_based{false};
     TimeNs delay_floor{milliseconds(90)};
+    // Drop the raw per-drop log and compute truth() through the online
+    // EpisodeAccumulator instead, bounding monitor memory regardless of run
+    // length.  Incompatible with delay_based (which needs the full record);
+    // episodes() is unavailable in this mode.
+    bool bounded_memory{false};
 };
 
 class Experiment {

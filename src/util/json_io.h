@@ -1,0 +1,19 @@
+// Shared helper for dumping generated documents (JSON reports, traces) to
+// disk — one implementation of the open/write/close/error dance instead of a
+// copy in every tool and bench.
+#ifndef BB_UTIL_JSON_IO_H
+#define BB_UTIL_JSON_IO_H
+
+#include <string>
+#include <string_view>
+
+namespace bb {
+
+// Write `content` to `path`, replacing any existing file.  Returns false
+// (and prints a warning to stderr) when the file cannot be opened or the
+// write comes up short.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace bb
+
+#endif  // BB_UTIL_JSON_IO_H

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/streaming.h"
+
 namespace bb::core {
 namespace {
 
@@ -89,6 +93,72 @@ TEST(StoppingRule, StopsInvalidOnViolations) {
     c.extended[0b010] = 20;
     c.extended[0b000] = 80;
     EXPECT_EQ(rule.evaluate(c), StoppingRule::Decision::stop_invalid);
+}
+
+TEST(Validation, AllZeroReportsAreAcceptableWithoutDividing) {
+    // A run where every experiment reported 00/000: all denominators
+    // (transitions, extended totals, rate means) are zero and must be
+    // guarded, not divided by.
+    StateCounts c;
+    c.basic[0b00] = 10'000;
+    c.extended[0b000] = 10'000;
+    const auto rep = validate(c);
+    EXPECT_EQ(rep.transitions, 0u);
+    EXPECT_DOUBLE_EQ(rep.pair_asymmetry, 0.0);
+    EXPECT_DOUBLE_EQ(rep.ext_pair_asymmetry, 0.0);
+    EXPECT_DOUBLE_EQ(rep.single_rate_spread, 0.0);
+    EXPECT_EQ(rep.violations, 0u);
+    EXPECT_DOUBLE_EQ(rep.violation_fraction, 0.0);
+    EXPECT_TRUE(rep.acceptable());
+}
+
+TEST(Validation, SingleExperimentOfEachCodeIsFinite) {
+    // One lone report must never produce a NaN/inf in any ratio.
+    for (std::uint8_t code = 0; code < 4; ++code) {
+        StateCounts c;
+        c.add({ExperimentKind::basic, code});
+        const auto rep = validate(c);
+        EXPECT_TRUE(std::isfinite(rep.pair_asymmetry)) << int(code);
+        EXPECT_TRUE(std::isfinite(rep.violation_fraction)) << int(code);
+    }
+    for (std::uint8_t code = 0; code < 8; ++code) {
+        StateCounts c;
+        c.add({ExperimentKind::extended, code});
+        const auto rep = validate(c);
+        EXPECT_TRUE(std::isfinite(rep.single_rate_spread)) << int(code);
+        EXPECT_TRUE(std::isfinite(rep.ext_pair_asymmetry)) << int(code);
+        EXPECT_TRUE(std::isfinite(rep.violation_fraction)) << int(code);
+    }
+}
+
+TEST(Validation, StreamingOnlineValidationMatchesOnEdgeCases) {
+    // The streaming form must agree exactly with the batch form on the same
+    // degenerate inputs (empty, all-zeros, single report).
+    {
+        const OnlineValidation empty;
+        const auto batch = validate(StateCounts{});
+        EXPECT_EQ(empty.finalize().pair_asymmetry, batch.pair_asymmetry);
+        EXPECT_EQ(empty.finalize().transitions, batch.transitions);
+    }
+    {
+        OnlineValidation online;
+        StateCounts counts;
+        for (int i = 0; i < 100; ++i) {
+            const ExperimentResult r{ExperimentKind::extended, 0b000};
+            online.consume(r);
+            counts.add(r);
+        }
+        EXPECT_EQ(online.finalize().violation_fraction, validate(counts).violation_fraction);
+    }
+    {
+        OnlineValidation online;
+        online.consume({ExperimentKind::basic, 0b01});
+        StateCounts counts;
+        counts.add({ExperimentKind::basic, 0b01});
+        EXPECT_EQ(online.finalize().pair_asymmetry, validate(counts).pair_asymmetry);
+        EXPECT_EQ(online.evaluate(StoppingRule{}),
+                  StoppingRule{}.evaluate(counts));
+    }
 }
 
 TEST(StoppingRule, KeepsGoingWhenAsymmetric) {

@@ -8,13 +8,24 @@
 // replicas (seeds derived positionally from --seed) executed across
 // --threads workers, reported as mean +/- 95% bootstrap CI and optionally
 // dumped with --json=FILE.
+//
+// With --stream the tool runs the fully online pipeline instead: a synthetic
+// alternating-renewal congestion series feeds the streaming probe scorer and
+// the online estimators slot by slot, so --slots can be 1e8 or more while
+// resident memory stays constant (no series, design, or report vector is
+// ever materialized).
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <string>
 
+#include "core/streaming.h"
+#include "core/synthetic.h"
 #include "core/trace_io.h"
 #include "scenarios/experiment.h"
 #include "scenarios/replica_runner.h"
 #include "util/flags.h"
+#include "util/json_io.h"
 
 namespace {
 
@@ -39,6 +50,89 @@ bool pick_scenario(const std::string& name, bb::scenarios::WorkloadConfig& wl) {
         return true;
     }
     return false;
+}
+
+long max_rss_kb() {
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;  // kilobytes on Linux
+}
+
+// The bounded-memory pipeline: synthetic congestion generator -> streaming
+// scorer -> online estimators, one slot at a time.
+int run_stream(std::int64_t slots, double p, bool improved, double mean_on, double mean_off,
+               std::uint64_t seed, const std::string& json_path) {
+    using namespace bb;
+    if (slots < 1) {
+        std::fprintf(stderr, "--slots must be >= 1\n");
+        return 1;
+    }
+
+    core::SyntheticSeriesGen gen{Rng{seed ^ 0x5EED5ULL}, mean_on, mean_off};
+    core::SeriesTruthAccumulator truth;
+
+    core::StreamingAnalyzer analyzer;
+    core::ProbeProcessConfig pcfg;
+    pcfg.p = p;
+    pcfg.improved = improved;
+    core::StreamingExperimentScorer scorer{Rng{seed ^ 0xBADA0ULL}, pcfg, analyzer};
+
+    std::printf("streaming %lld slots (p = %.2f%s, on/off = %.1f/%.1f slots)...\n",
+                static_cast<long long>(slots), p, improved ? ", improved" : "", mean_on,
+                mean_off);
+    for (std::int64_t s = 0; s < slots; ++s) {
+        const bool congested = gen.next();
+        truth.consume(congested);
+        scorer.step(congested);
+    }
+
+    const core::SeriesTruth t = truth.finalize();
+    const core::StreamingAnalyzer::Result res = analyzer.finalize();
+    const long rss_kb = max_rss_kb();
+
+    std::printf("\nground truth : frequency %.4f | duration %.2f slots | %zu episodes\n",
+                t.frequency, t.mean_duration_slots, t.episodes);
+    std::printf("streaming est: frequency %.4f | duration %.2f slots", res.frequency.value,
+                res.duration_basic.valid ? res.duration_basic.slots : 0.0);
+    if (res.duration_improved.valid) {
+        std::printf(" | improved %.2f slots (r_hat %.3f)", res.duration_improved.slots,
+                    res.duration_improved.r_hat.value_or(0.0));
+    }
+    std::printf("\nreports      : %llu scored (%llu experiments started, %d pending "
+                "dropped at end)\n",
+                static_cast<unsigned long long>(res.reports),
+                static_cast<unsigned long long>(scorer.experiments_started()),
+                scorer.experiments_pending());
+    std::printf("validation   : pair asymmetry %.3f, violation fraction %.4f -> %s\n",
+                res.validation.pair_asymmetry, res.validation.violation_fraction,
+                res.validation.acceptable() ? "OK" : "SUSPECT");
+    std::printf("memory       : max RSS %ld KiB (independent of --slots)\n", rss_kb);
+
+    if (!json_path.empty()) {
+        char buf[1024];
+        std::snprintf(buf, sizeof(buf),
+                      "{\n"
+                      "  \"mode\": \"stream\",\n"
+                      "  \"slots\": %lld,\n"
+                      "  \"p\": %.6f,\n"
+                      "  \"improved\": %s,\n"
+                      "  \"true_frequency\": %.8f,\n"
+                      "  \"true_duration_slots\": %.6f,\n"
+                      "  \"est_frequency\": %.8f,\n"
+                      "  \"est_duration_slots\": %.6f,\n"
+                      "  \"est_duration_improved_slots\": %.6f,\n"
+                      "  \"reports\": %llu,\n"
+                      "  \"max_rss_kb\": %ld\n"
+                      "}\n",
+                      static_cast<long long>(slots), p, improved ? "true" : "false",
+                      t.frequency, t.mean_duration_slots, res.frequency.value,
+                      res.duration_basic.valid ? res.duration_basic.slots : 0.0,
+                      res.duration_improved.valid ? res.duration_improved.slots : 0.0,
+                      static_cast<unsigned long long>(res.reports), rss_kb);
+        if (!write_text_file(json_path, buf)) return 1;
+        std::printf("json         : wrote %s\n", json_path.c_str());
+    }
+    return 0;
 }
 
 }  // namespace
@@ -68,7 +162,20 @@ int main(int argc, char** argv) {
         flags.add_int("threads", 0, "worker threads for replicas (0 = all cores)");
     const auto* json =
         flags.add_string("json", "", "write replica aggregate + trajectories to FILE");
+    const auto* stream = flags.add_bool(
+        "stream", false, "bounded-memory synthetic run: online estimators over --slots slots");
+    const auto* slots =
+        flags.add_int("slots", 100'000'000, "slot count for --stream (memory-independent)");
+    const auto* mean_on =
+        flags.add_double("mean-on-slots", 20.0, "mean episode length in slots (--stream)");
+    const auto* mean_off =
+        flags.add_double("mean-off-slots", 180.0, "mean gap length in slots (--stream)");
     if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
+
+    if (*stream) {
+        return run_stream(*slots, *p, *improved, *mean_on, *mean_off,
+                          static_cast<std::uint64_t>(*seed), *json);
+    }
 
     scenarios::TestbedConfig tb;
     tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
@@ -143,13 +250,7 @@ int main(int argc, char** argv) {
         if (!json->empty()) {
             const auto doc = scenarios::aggregate_rows_json(
                 *scenario, plan.probe.slot_width, {agg}, {results});
-            std::FILE* f = std::fopen(json->c_str(), "w");
-            if (f == nullptr) {
-                std::fprintf(stderr, "cannot write %s\n", json->c_str());
-                return 1;
-            }
-            std::fwrite(doc.data(), 1, doc.size(), f);
-            std::fclose(f);
+            if (!write_text_file(*json, doc)) return 1;
             std::printf("json      : wrote %s\n", json->c_str());
         }
         return 0;

@@ -13,6 +13,7 @@
 #include "core/estimators.h"
 #include "core/markov.h"
 #include "core/marking.h"
+#include "core/streaming.h"
 #include "core/trace_io.h"
 #include "core/validation.h"
 #include "core/windowed.h"
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
     const auto* tau_ms = flags.add_int("tau-ms", 40, "marking tau, ms");
     const auto* replicates = flags.add_int("bootstrap", 200, "bootstrap replicates (0 = off)");
     const auto* seed = flags.add_int("seed", 1, "bootstrap RNG seed");
+    const auto* stream = flags.add_bool(
+        "stream", false,
+        "stream the design through the online estimators (no report vector; "
+        "skips bootstrap/markov/stationarity)");
     if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
     if (trace_path->empty() || design_path->empty()) {
         std::fprintf(stderr, "estimate_trace: --trace and --design are required\n");
@@ -37,7 +42,6 @@ int main(int argc, char** argv) {
     }
 
     const auto probes = read_trace_file(*trace_path);
-    const auto experiments = read_design_file(*design_path);
     const TimeNs slot = milliseconds(*slot_ms);
 
     MarkingConfig marking;
@@ -49,10 +53,61 @@ int main(int argc, char** argv) {
     std::unordered_map<SlotIndex, bool> congested;
     congested.reserve(marks.size());
     for (const auto& m : marks) congested[m.slot] = m.congested;
-    const auto results = score_experiments(experiments, [&congested](SlotIndex s) {
+    const auto is_congested = [&congested](SlotIndex s) {
         const auto it = congested.find(s);
         return it != congested.end() && it->second;
-    });
+    };
+
+    if (*stream) {
+        // The marker needs the full probe record (two-pass tau/alpha rule),
+        // but the design is scored record by record into the online
+        // estimators — no experiment or report vector is materialized.
+        StreamingAnalyzer analyzer;
+        std::uint64_t n_experiments = 0;
+        auto score = make_fn_sink<Experiment>([&](const Experiment& e) {
+            ++n_experiments;
+            if (e.kind == ExperimentKind::basic) {
+                analyzer.consume({ExperimentKind::basic,
+                                  basic_code(is_congested(e.start_slot),
+                                             is_congested(e.start_slot + 1))});
+            } else {
+                analyzer.consume({ExperimentKind::extended,
+                                  extended_code(is_congested(e.start_slot),
+                                                is_congested(e.start_slot + 1),
+                                                is_congested(e.start_slot + 2))});
+            }
+        });
+        for_each_design_record_file(*design_path, score);
+
+        const auto res = analyzer.finalize();
+        const auto delays = summarize_delays(probes);
+        std::printf("trace        : %zu probes, %llu experiments (streamed)\n", probes.size(),
+                    static_cast<unsigned long long>(n_experiments));
+        std::printf("frequency    : %.5f  (online moment estimator, Sec 5.2.2)\n",
+                    res.frequency.value);
+        std::printf("duration     : %.4f s (basic)",
+                    res.duration_basic.valid ? res.duration_basic.seconds(slot) : 0.0);
+        if (res.duration_improved.valid) {
+            std::printf("  |  %.4f s (improved, r_hat %.3f)",
+                        res.duration_improved.seconds(slot),
+                        res.duration_improved.r_hat.value_or(0.0));
+        }
+        std::printf("\nvalidation   : pair asymmetry %.3f, violations %.4f -> %s\n",
+                    res.validation.pair_asymmetry, res.validation.violation_fraction,
+                    res.validation.acceptable() ? "OK" : "SUSPECT");
+        if (delays.valid()) {
+            std::printf("delays       : base %.4f s, queueing p95 %.4f s, loss-conditional "
+                        "%.4f s\n",
+                        delays.base_delay.to_seconds(), delays.p95_queueing_s,
+                        delays.loss_conditional_queueing_s);
+        }
+        std::printf("note         : bootstrap/markov/stationarity need the full report "
+                    "sequence; run without --stream for those\n");
+        return 0;
+    }
+
+    const auto experiments = read_design_file(*design_path);
+    const auto results = score_experiments(experiments, is_congested);
 
     StateCounts counts;
     for (const auto& r : results) counts.add(r);
