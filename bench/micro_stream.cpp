@@ -18,6 +18,7 @@
 #include "core/probe_process.h"
 #include "core/streaming.h"
 #include "core/synthetic.h"
+#include "obs/process_stats.h"
 #include "util/json_io.h"
 #include "util/rng.h"
 
@@ -140,5 +141,8 @@ int main() {
     }
     doc += "  ]\n}\n";
     if (write_text_file(path, doc)) std::printf("json: wrote %s\n", path.c_str());
+    const obs::ProcessStats ps = obs::process_stats();
+    std::printf("process: max RSS %lld KiB, cpu %.2fs user %.2fs sys\n",
+                static_cast<long long>(ps.max_rss_kb), ps.user_cpu_s, ps.system_cpu_s);
     return 0;
 }

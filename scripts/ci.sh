@@ -4,6 +4,7 @@
 #   scripts/ci.sh                 # tier-1 + ASan full suite + TSan `-L tsan`
 #   BB_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the AddressSanitizer stage
 #   BB_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the ThreadSanitizer stage
+#   BB_CI_SKIP_OBS=1 scripts/ci.sh    # skip the observability stage
 #
 # Each stage uses its own build directory (build, build-asan, build-tsan) so
 # sanitizer flags never leak into the primary build. BB_SANITIZE is the
@@ -18,6 +19,18 @@ echo "==> tier-1: configure + build + full ctest"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${BB_CI_SKIP_OBS:-0}" != 1 ]]; then
+  echo "==> obs: full ctest with the kill switch off (BB_OBS=off)"
+  BB_OBS=off ctest --test-dir build --output-on-failure -j "$JOBS"
+
+  echo "==> obs: full ctest with ambient tracing on (BB_OBS_TRACE=1)"
+  BB_OBS_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+  echo "==> obs: micro_obs smoke (assert-only, timing gate off)"
+  BB_OBS_BENCH_GATE=off BB_OBS_BENCH_SLOTS=500000 BB_OBS_BENCH_REPS=1 \
+    BB_BENCH_JSON=build ./build/bench/micro_obs
+fi
 
 if [[ "${BB_CI_SKIP_ASAN:-0}" != 1 ]]; then
   echo "==> asan: BB_SANITIZE=address build + full ctest"

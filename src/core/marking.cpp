@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace bb::core {
 
@@ -58,21 +61,34 @@ std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& pr
         return it != loss_times.end() && *it <= t + cfg_.tau;
     };
 
+    std::uint64_t by_loss = 0;
+    std::uint64_t by_delay = 0;
     for (const auto& pr : probes) {
         SlotMark m;
         m.slot = pr.slot;
         if (pr.any_lost()) {
             m.congested = true;
             m.by_loss = true;
+            ++by_loss;
         } else if (cfg_.use_delay_rule && owd_max_.ns() > 0 && pr.any_received) {
             const TimeNs qd = pr.max_owd - base;
             if (qd > threshold && near_loss(pr.send_time)) {
                 m.congested = true;
                 m.by_delay = true;
+                ++by_delay;
             }
         }
         marks.push_back(m);
     }
+
+    // Marking-rule decision tallies, flushed once per mark() call.
+    static obs::Counter& loss_ctr = obs::counter("core.marking.by_loss");
+    static obs::Counter& delay_ctr = obs::counter("core.marking.by_delay");
+    static obs::Counter& clear_ctr = obs::counter("core.marking.uncongested");
+    if (by_loss > 0) loss_ctr.inc(by_loss);
+    if (by_delay > 0) delay_ctr.inc(by_delay);
+    const std::uint64_t clear = marks.size() - by_loss - by_delay;
+    if (clear > 0) clear_ctr.inc(clear);
     return marks;
 }
 

@@ -1,5 +1,7 @@
 #include "core/streaming.h"
 
+#include "obs/metrics.h"
+
 namespace bb::core {
 
 void OnlineFrequency::consume(const ExperimentResult& r) {
@@ -60,6 +62,36 @@ DurationEstimate OnlineDuration::finalize_improved() const {
                 1.0;
     est.valid = true;
     return est;
+}
+
+StreamingAnalyzer::StreamingAnalyzer(EstimatorOptions opts)
+    : frequency_{opts},
+      duration_{opts},
+      reports_ctr_{&obs::counter("core.reports_scored")} {}
+
+StreamingAnalyzer::~StreamingAnalyzer() {
+    // Per-state tallies are batched here (not per consume) so the streaming
+    // hot loop stays within the instrumentation overhead budget.
+    const StateCounts& c = validation_.counts();
+    if (c.basic_total() > 0) {
+        static const char* const kBasicNames[4] = {
+            "core.reports.b00", "core.reports.b01", "core.reports.b10",
+            "core.reports.b11"};
+        for (int i = 0; i < 4; ++i) {
+            if (c.basic[i] > 0) obs::counter(kBasicNames[i]).inc(c.basic[i]);
+        }
+    }
+    if (c.extended_total() > 0) {
+        obs::counter("core.reports.extended").inc(c.extended_total());
+    }
+}
+
+void StreamingAnalyzer::consume(const ExperimentResult& r) {
+    frequency_.consume(r);
+    duration_.consume(r);
+    validation_.consume(r);
+    ++reports_;
+    reports_ctr_->inc();
 }
 
 StreamingAnalyzer::Result StreamingAnalyzer::finalize() const {

@@ -18,6 +18,10 @@
 #include "core/types.h"
 #include "core/validation.h"
 
+namespace bb::obs {
+class Counter;
+}  // namespace bb::obs
+
 namespace bb::core {
 
 // F̂ = Σ z_i / M from running tallies of first digits (§5.2.2).
@@ -85,15 +89,14 @@ public:
         std::uint64_t reports{0};
     };
 
-    explicit StreamingAnalyzer(EstimatorOptions opts = {})
-        : frequency_{opts}, duration_{opts} {}
+    explicit StreamingAnalyzer(EstimatorOptions opts = {});
+    // Publishes the accumulated per-state tallies to the obs registry exactly
+    // once per analyzer lifetime, hence no copies.
+    ~StreamingAnalyzer() override;
+    StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+    StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
 
-    void consume(const ExperimentResult& r) override {
-        frequency_.consume(r);
-        duration_.consume(r);
-        validation_.consume(r);
-        ++reports_;
-    }
+    void consume(const ExperimentResult& r) override;
 
     [[nodiscard]] Result finalize() const;
 
@@ -108,6 +111,9 @@ private:
     OnlineDuration duration_;
     OnlineValidation validation_;
     std::uint64_t reports_{0};
+    // Registry handle cached at construction so the hot consume() path pays
+    // one relaxed atomic add, never a registry lookup.
+    obs::Counter* reports_ctr_;
 };
 
 }  // namespace bb::core

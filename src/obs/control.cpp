@@ -1,0 +1,18 @@
+#include "obs/control.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bb::obs::detail {
+
+int resolve_enabled_from_env() noexcept {
+    const char* v = std::getenv("BB_OBS");
+    const bool off = v != nullptr &&
+                     (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+                      std::strcmp(v, "false") == 0 || std::strcmp(v, "no") == 0);
+    const int s = off ? 0 : 1;
+    g_obs_state.store(s, std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace bb::obs::detail

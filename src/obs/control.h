@@ -1,0 +1,37 @@
+// Global observability kill switch.
+//
+// Every obs hook (metric increment, span record, log line) first branches on
+// enabled(): a cached boolean resolved once from the BB_OBS environment
+// variable (BB_OBS=off|0|false|no disables, anything else — including unset —
+// enables).  The fast path is a single relaxed atomic load, so instrumented
+// hot loops pay one predictable branch when observability is off.
+//
+// set_enabled() overrides the environment at runtime (used by tests and by
+// bench/micro_obs to measure the on/off delta inside one process).
+#ifndef BB_OBS_CONTROL_H
+#define BB_OBS_CONTROL_H
+
+#include <atomic>
+
+namespace bb::obs {
+
+namespace detail {
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+inline std::atomic<int> g_obs_state{-1};
+// Reads BB_OBS, stores the result in g_obs_state, and returns it.  Racing
+// first calls are harmless: both resolve the same environment.
+int resolve_enabled_from_env() noexcept;
+}  // namespace detail
+
+[[nodiscard]] inline bool enabled() noexcept {
+    const int s = detail::g_obs_state.load(std::memory_order_relaxed);
+    return s >= 0 ? s == 1 : detail::resolve_enabled_from_env() == 1;
+}
+
+inline void set_enabled(bool on) noexcept {
+    detail::g_obs_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace bb::obs
+
+#endif  // BB_OBS_CONTROL_H

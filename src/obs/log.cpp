@@ -1,0 +1,85 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <sys/time.h>
+
+namespace bb::obs {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+std::atomic<int> g_level{kUnresolved};
+
+int level_from_env() noexcept {
+    const char* v = std::getenv("BB_LOG");
+    int lvl = static_cast<int>(LogLevel::info);
+    if (v != nullptr) {
+        if (std::strcmp(v, "debug") == 0) lvl = static_cast<int>(LogLevel::debug);
+        else if (std::strcmp(v, "info") == 0) lvl = static_cast<int>(LogLevel::info);
+        else if (std::strcmp(v, "warn") == 0) lvl = static_cast<int>(LogLevel::warn);
+        else if (std::strcmp(v, "error") == 0) lvl = static_cast<int>(LogLevel::error);
+        else if (std::strcmp(v, "off") == 0) lvl = static_cast<int>(LogLevel::off);
+    }
+    g_level.store(lvl, std::memory_order_relaxed);
+    return lvl;
+}
+
+const char* level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::debug: return "debug";
+        case LogLevel::info: return "info";
+        case LogLevel::warn: return "warn";
+        case LogLevel::error: return "error";
+        case LogLevel::off: return "off";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+    int lvl = g_level.load(std::memory_order_relaxed);
+    if (lvl == kUnresolved) lvl = level_from_env();
+    return static_cast<LogLevel>(lvl);
+}
+
+void set_log_level(LogLevel level) noexcept {
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+    return level != LogLevel::off && level >= log_level();
+}
+
+void log(LogLevel level, std::string_view msg) {
+    if (!log_enabled(level)) return;
+
+    struct timeval tv{};
+    gettimeofday(&tv, nullptr);
+    struct tm tm{};
+    const time_t secs = tv.tv_sec;
+    gmtime_r(&secs, &tm);
+
+    // One fprintf per line so concurrent loggers cannot interleave a line.
+    std::fprintf(stderr, "[%02d:%02d:%02d.%03d %s] %.*s\n", tm.tm_hour, tm.tm_min,
+                 tm.tm_sec, static_cast<int>(tv.tv_usec / 1000), level_name(level),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+    if (!log_enabled(level)) return;
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    log(level, buf);
+}
+
+}  // namespace bb::obs

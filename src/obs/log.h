@@ -1,0 +1,37 @@
+// One logging sink for the whole tree: timestamped, level-filtered lines on
+// stderr.  Replaces the ad-hoc fprintf(stderr, ...) sites that used to be
+// scattered through util so warnings and usage errors share one format and
+// one filter.
+//
+// The threshold comes from the BB_LOG environment variable
+// (debug|info|warn|error|off, default info) and can be overridden at runtime
+// with set_log_level().  Lines below the threshold cost one relaxed atomic
+// load and a branch.
+#ifndef BB_OBS_LOG_H
+#define BB_OBS_LOG_H
+
+#include <string_view>
+
+namespace bb::obs {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+// True when a message at `level` would be emitted (callers can skip building
+// expensive messages).
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+// Emit "[HH:MM:SS.mmm level] msg\n" on stderr when `level` passes the filter.
+void log(LogLevel level, std::string_view msg);
+
+// printf-style convenience wrapper around log().
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace bb::obs
+
+#endif  // BB_OBS_LOG_H

@@ -1,0 +1,191 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "obs/log.h"
+#include "obs/process_stats.h"
+
+namespace bb::obs {
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::string name) : name_{std::move(name)} {
+    for (Shard& s : shards_) {
+        s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(kBuckets);
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            s.buckets[b].store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+    Snapshot snap;
+    std::vector<std::uint64_t> merged(kBuckets, 0);
+    for (const Shard& s : shards_) {
+        snap.count += s.count.load(std::memory_order_relaxed);
+        snap.sum += s.sum.load(std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (merged[b] > 0) snap.buckets.emplace_back(bucket_lower_bound(b), merged[b]);
+    }
+    return snap;
+}
+
+std::uint64_t Histogram::Snapshot::quantile(double q) const noexcept {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the q-quantile sample (1-based, nearest-rank definition).
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (const auto& [lb, n] : buckets) {
+        seen += n;
+        if (seen >= rank) return lb;
+    }
+    return buckets.empty() ? 0 : buckets.back().first;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::instance() {
+    // Leaky singleton: metrics are process-lifetime, and worker threads may
+    // still increment during static destruction.
+    static Registry* r = new Registry;
+    return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::string{name},
+                               std::unique_ptr<Counter>{new Counter{std::string{name}}})
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::string{name},
+                             std::unique_ptr<Gauge>{new Gauge{std::string{name}}})
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string{name},
+                                 std::unique_ptr<Histogram>{new Histogram{std::string{name}}})
+                 .first;
+    }
+    return *it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+    Snapshot snap;
+    const std::lock_guard<std::mutex> lock{mu_};
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h->snapshot());
+    return snap;
+}
+
+Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+Histogram& histogram(std::string_view name) { return Registry::instance().histogram(name); }
+
+// --- JSON export -------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+}  // namespace
+
+std::string metrics_json() {
+    const Registry::Snapshot snap = Registry::instance().snapshot();
+    std::string out = "{\n  \"counters\": {";
+    char buf[192];
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_escaped(out, name);
+        std::snprintf(buf, sizeof buf, "\": %llu", static_cast<unsigned long long>(value));
+        out += buf;
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_escaped(out, name);
+        std::snprintf(buf, sizeof buf, "\": %.9g", value);
+        out += buf;
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : snap.histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_escaped(out, name);
+        std::snprintf(buf, sizeof buf,
+                      "\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.6g, "
+                      "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, \"buckets\": [",
+                      static_cast<unsigned long long>(h.count),
+                      static_cast<unsigned long long>(h.sum), h.mean(),
+                      static_cast<unsigned long long>(h.quantile(0.50)),
+                      static_cast<unsigned long long>(h.quantile(0.95)),
+                      static_cast<unsigned long long>(h.quantile(0.99)));
+        out += buf;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            std::snprintf(buf, sizeof buf, "%s[%llu, %llu]", i > 0 ? ", " : "",
+                          static_cast<unsigned long long>(h.buckets[i].first),
+                          static_cast<unsigned long long>(h.buckets[i].second));
+            out += buf;
+        }
+        out += "]}";
+    }
+    out += "\n  },\n  \"process\": ";
+    out += process_stats_json(process_stats());
+    out += "\n}\n";
+    return out;
+}
+
+bool write_metrics_file(const std::string& path) {
+    const std::string doc = metrics_json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        logf(LogLevel::warn, "cannot write metrics file %s", path.c_str());
+        return false;
+    }
+    const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    const bool closed_ok = std::fclose(f) == 0;
+    if (written != doc.size() || !closed_ok) {
+        logf(LogLevel::warn, "short write to metrics file %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace bb::obs

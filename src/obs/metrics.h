@@ -1,0 +1,223 @@
+// Process-lifetime metrics registry: counters, gauges, and log-linear
+// histograms for the measurement machinery itself (events dispatched, queue
+// drops, reports scored, task latencies).
+//
+// Hot-path design: each metric is striped over kShards cache-line-padded
+// cells; a thread picks its own cell once (thread-local index, distinct for
+// the first kShards threads) and increments it with a relaxed atomic add, so
+// concurrent writers never touch the same cache line until snapshot() merges
+// the shards.  Every mutating call first branches on the cached obs::enabled()
+// bool (BB_OBS=off), so a disabled build pays one predictable branch.
+//
+// Metrics live for the whole process: registration hands out references that
+// never move or die, so call sites can cache them (typically in a
+// function-local static) and skip the registry lock forever after.
+#ifndef BB_OBS_METRICS_H
+#define BB_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/control.h"
+
+namespace bb::obs {
+
+inline constexpr std::size_t kShards = 32;  // power of two
+
+namespace detail {
+inline std::atomic<std::size_t> g_next_shard{0};
+}  // namespace detail
+
+// Stable per-thread stripe: the first kShards threads get distinct cells,
+// later threads wrap around (increments stay exact, just shared).
+[[nodiscard]] inline std::size_t shard_index() noexcept {
+    thread_local const std::size_t idx =
+        detail::g_next_shard.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+    return idx;
+}
+
+// Monotonic counter.  value() is exact with respect to completed inc() calls.
+class Counter {
+public:
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void inc(std::uint64_t n = 1) noexcept {
+        if (!enabled()) return;
+        cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class Registry;
+    explicit Counter(std::string name) : name_{std::move(name)} {}
+
+    struct alignas(64) Cell {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    std::string name_;
+    Cell cells_[kShards];
+};
+
+// Last-write-wins double value (queue depth, live loss rate).
+class Gauge {
+public:
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(double v) noexcept {
+        if (!enabled()) return;
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        __builtin_memcpy(&bits, &v, sizeof bits);
+        bits_.store(bits, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] double value() const noexcept {
+        const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+        double v;
+        __builtin_memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class Registry;
+    explicit Gauge(std::string name) : name_{std::move(name)} {}
+
+    std::string name_;
+    std::atomic<std::uint64_t> bits_{0};  // bit pattern of 0.0
+};
+
+// Log-linear histogram of non-negative integer samples (latencies in us,
+// sizes in bytes): 2^kSubBits linear sub-buckets per power of two, so the
+// relative bucket width is bounded by 1/2^kSubBits (25% here) at any
+// magnitude while the whole uint64 range needs only kBuckets cells.
+class Histogram {
+public:
+    static constexpr int kSubBits = 2;
+    static constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;  // 4
+    // Buckets 0..kSubCount-1 are exact; each later group of kSubCount spans
+    // one octave [2^m, 2^(m+1)) for m = kSubBits .. 63.
+    static constexpr std::size_t kBuckets = kSubCount + (64 - kSubBits) * kSubCount;
+
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void record(std::int64_t value) noexcept {
+        if (!enabled()) return;
+        const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+        Shard& s = shards_[shard_index()];
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+        s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept {
+        if (v < kSubCount) return static_cast<std::size_t>(v);
+        const int msb = 63 - __builtin_clzll(v);
+        const std::size_t group = static_cast<std::size_t>(msb) - kSubBits + 1;
+        const std::size_t sub = (v >> (msb - kSubBits)) & (kSubCount - 1);
+        return group * kSubCount + sub;
+    }
+
+    // Smallest value mapping to `bucket` (inverse of bucket_index).
+    [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t bucket) noexcept {
+        if (bucket < kSubCount) return bucket;
+        const std::size_t group = bucket / kSubCount;
+        const std::size_t sub = bucket % kSubCount;
+        const int msb = static_cast<int>(group) + kSubBits - 1;
+        return (std::uint64_t{1} << msb) + (std::uint64_t{sub} << (msb - kSubBits));
+    }
+
+    struct Snapshot {
+        std::uint64_t count{0};
+        std::uint64_t sum{0};
+        // (bucket lower bound, count), non-empty buckets only, ascending.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+        [[nodiscard]] double mean() const noexcept {
+            return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+        }
+        // Lower bound of the bucket containing the q-quantile sample.
+        [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+    };
+
+    [[nodiscard]] Snapshot snapshot() const;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    friend class Registry;
+    explicit Histogram(std::string name);
+
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    };
+
+    std::string name_;
+    Shard shards_[kShards];
+};
+
+// Name -> metric, one per process.  Lookup takes a mutex; the returned
+// references are stable for the process lifetime, so look up once and cache.
+class Registry {
+public:
+    static Registry& instance();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    struct Snapshot {
+        std::vector<std::pair<std::string, std::uint64_t>> counters;  // sorted by name
+        std::vector<std::pair<std::string, double>> gauges;
+        std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+    };
+
+    // Consistent-enough view for reporting: each metric is read atomically,
+    // concurrent writers may land in either side of the cut.
+    [[nodiscard]] Snapshot snapshot() const;
+
+private:
+    Registry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Convenience create-or-get wrappers over Registry::instance().
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+// JSON document with the full registry snapshot plus process stats
+// (counters/gauges/histograms keyed by name, deterministically ordered).
+[[nodiscard]] std::string metrics_json();
+
+// Write metrics_json() to `path`; false (with a warning log) on I/O failure.
+[[nodiscard]] bool write_metrics_file(const std::string& path);
+
+}  // namespace bb::obs
+
+#endif  // BB_OBS_METRICS_H

@@ -1,0 +1,29 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+
+#include <sys/resource.h>
+
+namespace bb::obs {
+
+ProcessStats process_stats() noexcept {
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    ProcessStats ps;
+    ps.max_rss_kb = ru.ru_maxrss;  // kilobytes on Linux
+    ps.user_cpu_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                    static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    ps.system_cpu_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                      static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    return ps;
+}
+
+std::string process_stats_json(const ProcessStats& ps) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"max_rss_kb\":%ld,\"user_cpu_s\":%.6f,\"system_cpu_s\":%.6f}",
+                  ps.max_rss_kb, ps.user_cpu_s, ps.system_cpu_s);
+    return buf;
+}
+
+}  // namespace bb::obs

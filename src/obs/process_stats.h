@@ -1,0 +1,23 @@
+// Process-level resource accounting (getrusage), shared by every tool and
+// bench instead of each one inlining its own max-RSS call.
+#ifndef BB_OBS_PROCESS_STATS_H
+#define BB_OBS_PROCESS_STATS_H
+
+#include <string>
+
+namespace bb::obs {
+
+struct ProcessStats {
+    long max_rss_kb{0};      // peak resident set size, KiB (Linux ru_maxrss)
+    double user_cpu_s{0.0};
+    double system_cpu_s{0.0};
+};
+
+[[nodiscard]] ProcessStats process_stats() noexcept;
+
+// One JSON object: {"max_rss_kb":..,"user_cpu_s":..,"system_cpu_s":..}
+[[nodiscard]] std::string process_stats_json(const ProcessStats& ps);
+
+}  // namespace bb::obs
+
+#endif  // BB_OBS_PROCESS_STATS_H

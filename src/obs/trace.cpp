@@ -1,0 +1,231 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace bb::obs {
+
+namespace {
+
+// Safety cap per thread buffer; overflow increments `dropped` instead of
+// growing without bound when tracing is left on for a very long run.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+struct Event {
+    const char* name;
+    const char* cat;
+    const char* arg_key;  // nullptr = no args object
+    std::int64_t arg_value;
+    std::uint64_t ts_ns;   // steady-clock, absolute
+    std::uint64_t dur_ns;  // 0 for instant events
+    char ph;               // 'X' or 'i'
+};
+
+struct ThreadBuf {
+    std::mutex mu;  // uncontended except while write()/clear() merges
+    std::vector<Event> events;
+    std::uint64_t dropped{0};
+    std::uint32_t tid{0};
+};
+
+struct State {
+    // -1 = activation not yet resolved from BB_OBS_TRACE, 0 = off, 1 = on.
+    std::atomic<int> active{-1};
+    std::atomic<std::uint64_t> t0_ns{0};
+    std::mutex mu;  // guards bufs
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    std::atomic<std::uint32_t> next_tid{1};
+};
+
+State& state() {
+    static State* s = new State;  // leaky: threads may record during shutdown
+    return *s;
+}
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+int resolve_active_from_env() noexcept {
+    State& s = state();
+    const char* v = std::getenv("BB_OBS_TRACE");
+    const bool on =
+        v != nullptr && (std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+                         std::strcmp(v, "true") == 0);
+    int expected = -1;
+    if (s.active.compare_exchange_strong(expected, on ? 1 : 0,
+                                         std::memory_order_relaxed)) {
+        if (on) s.t0_ns.store(now_ns(), std::memory_order_relaxed);
+    }
+    return s.active.load(std::memory_order_relaxed);
+}
+
+ThreadBuf& thread_buf() {
+    thread_local std::shared_ptr<ThreadBuf> buf = [] {
+        auto b = std::make_shared<ThreadBuf>();
+        State& s = state();
+        b->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock{s.mu};
+        s.bufs.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void append(const Event& ev) {
+    ThreadBuf& buf = thread_buf();
+    const std::lock_guard<std::mutex> lock{buf.mu};
+    if (buf.events.size() >= kMaxEventsPerThread) {
+        ++buf.dropped;
+        return;
+    }
+    buf.events.push_back(ev);
+}
+
+}  // namespace
+
+bool Trace::active() noexcept {
+    if (!enabled()) return false;
+    const int a = state().active.load(std::memory_order_relaxed);
+    return (a >= 0 ? a : resolve_active_from_env()) == 1;
+}
+
+void Trace::start() {
+    if (!enabled()) return;
+    clear();
+    State& s = state();
+    s.t0_ns.store(now_ns(), std::memory_order_relaxed);
+    s.active.store(1, std::memory_order_relaxed);
+}
+
+void Trace::stop() noexcept { state().active.store(0, std::memory_order_relaxed); }
+
+void Trace::clear() {
+    State& s = state();
+    const std::lock_guard<std::mutex> lock{s.mu};
+    for (const auto& buf : s.bufs) {
+        const std::lock_guard<std::mutex> buf_lock{buf->mu};
+        buf->events.clear();
+        buf->dropped = 0;
+    }
+}
+
+std::size_t Trace::buffered_events() {
+    State& s = state();
+    std::size_t n = 0;
+    const std::lock_guard<std::mutex> lock{s.mu};
+    for (const auto& buf : s.bufs) {
+        const std::lock_guard<std::mutex> buf_lock{buf->mu};
+        n += buf->events.size();
+    }
+    return n;
+}
+
+std::uint64_t Trace::dropped_events() {
+    State& s = state();
+    std::uint64_t n = 0;
+    const std::lock_guard<std::mutex> lock{s.mu};
+    for (const auto& buf : s.bufs) {
+        const std::lock_guard<std::mutex> buf_lock{buf->mu};
+        n += buf->dropped;
+    }
+    return n;
+}
+
+bool Trace::write(const std::string& path) {
+    if (!enabled()) {
+        log(LogLevel::warn, "trace write skipped: observability is disabled (BB_OBS=off)");
+        return false;
+    }
+    stop();
+
+    State& s = state();
+    const std::uint64_t t0 = s.t0_ns.load(std::memory_order_relaxed);
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        logf(LogLevel::warn, "cannot write trace file %s", path.c_str());
+        return false;
+    }
+
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    bool first = true;
+    std::uint64_t total_dropped = 0;
+    {
+        const std::lock_guard<std::mutex> lock{s.mu};
+        for (const auto& buf : s.bufs) {
+            const std::lock_guard<std::mutex> buf_lock{buf->mu};
+            if (!buf->events.empty()) {
+                // Thread-name metadata so Perfetto labels the tracks.
+                std::fprintf(f,
+                             "%s\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                             "\"tid\":%u,\"args\":{\"name\":\"bb-thread-%u\"}}",
+                             first ? "" : ",", buf->tid, buf->tid);
+                first = false;
+            }
+            for (const Event& ev : buf->events) {
+                const double ts_us =
+                    ev.ts_ns >= t0 ? static_cast<double>(ev.ts_ns - t0) * 1e-3 : 0.0;
+                std::fprintf(f, ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                                "\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                             ev.name, ev.cat, ev.ph, buf->tid, ts_us);
+                if (ev.ph == 'X') {
+                    std::fprintf(f, ",\"dur\":%.3f", static_cast<double>(ev.dur_ns) * 1e-3);
+                }
+                if (ev.ph == 'i') std::fputs(",\"s\":\"t\"", f);
+                if (ev.arg_key != nullptr) {
+                    std::fprintf(f, ",\"args\":{\"%s\":%lld}", ev.arg_key,
+                                 static_cast<long long>(ev.arg_value));
+                }
+                std::fputc('}', f);
+            }
+            buf->events.clear();
+            total_dropped += buf->dropped;
+            buf->dropped = 0;
+        }
+    }
+    std::fputs("\n]}\n", f);
+    const bool ok = std::ferror(f) == 0;
+    const bool closed_ok = std::fclose(f) == 0;
+    if (total_dropped > 0) {
+        logf(LogLevel::warn, "trace dropped %llu events (per-thread buffer cap)",
+             static_cast<unsigned long long>(total_dropped));
+    }
+    if (!ok || !closed_ok) {
+        logf(LogLevel::warn, "short write to trace file %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+Span::Span(const char* name, const char* cat, const char* arg_key,
+           std::int64_t arg_value) noexcept
+    : name_{name}, cat_{cat}, arg_key_{arg_key}, arg_value_{arg_value},
+      live_{Trace::active()} {
+    if (live_) t0_ns_ = now_ns();
+}
+
+Span::~Span() {
+    if (!live_) return;
+    const std::uint64_t t1 = now_ns();
+    append(Event{name_, cat_, arg_key_, arg_value_, t0_ns_,
+                 t1 >= t0_ns_ ? t1 - t0_ns_ : 0, 'X'});
+}
+
+void instant(const char* name, const char* cat) {
+    if (!Trace::active()) return;
+    append(Event{name, cat, nullptr, 0, now_ns(), 0, 'i'});
+}
+
+}  // namespace bb::obs

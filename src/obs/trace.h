@@ -1,0 +1,81 @@
+// RAII span tracer emitting Chrome trace_event JSON, loadable in
+// chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Collection model: each thread appends fixed-size Event records to its own
+// buffer (registered once with the global trace state), so recording a span
+// is a clock read plus an uncontended mutex'd push_back — no cross-thread
+// traffic until Trace::write() merges the buffers into one JSON document.
+// Buffers are capped (kMaxEventsPerThread) and overflow is counted, never
+// reallocated without bound.
+//
+// Activation: tracing is off until Trace::start() (tools call it when
+// --trace-out is given) or the BB_OBS_TRACE=1 environment variable.  The
+// obs::enabled() kill switch (BB_OBS=off) overrides everything: spans become
+// a branch on a cached bool, nothing is buffered, and write() refuses to
+// touch the filesystem.
+#ifndef BB_OBS_TRACE_H
+#define BB_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+
+#include "obs/control.h"
+
+namespace bb::obs {
+
+class Trace {
+public:
+    // True while spans are being collected (and obs is enabled).
+    [[nodiscard]] static bool active() noexcept;
+
+    // Drop any previously buffered events and begin collecting.  No-op when
+    // obs::enabled() is false.
+    static void start();
+
+    // Stop collecting; buffered events are kept until clear()/start()/write().
+    static void stop() noexcept;
+
+    // Stop, serialize every buffered event as Chrome trace JSON to `path`,
+    // and clear the buffers.  Returns false (warning logged, no partial state
+    // kept secret) when tracing never collected anything because obs is
+    // disabled, or on I/O failure.
+    [[nodiscard]] static bool write(const std::string& path);
+
+    // Buffered event count across all thread buffers (tests, diagnostics).
+    [[nodiscard]] static std::size_t buffered_events();
+
+    // Events dropped because a thread buffer hit its cap.
+    [[nodiscard]] static std::uint64_t dropped_events();
+
+    static void clear();
+};
+
+// Scoped duration event ('X' phase): records [construction, destruction) on
+// the calling thread.  `name`, `cat`, and `arg_key` must be string literals
+// (or otherwise outlive the trace) — spans never copy or allocate.
+class Span {
+public:
+    explicit Span(const char* name, const char* cat = "bb") noexcept
+        : Span{name, cat, nullptr, 0} {}
+    Span(const char* name, const char* cat, const char* arg_key,
+         std::int64_t arg_value) noexcept;
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* name_;
+    const char* cat_;
+    const char* arg_key_;
+    std::int64_t arg_value_;
+    std::uint64_t t0_ns_{0};
+    bool live_;
+};
+
+// Zero-duration instant event ('i' phase).
+void instant(const char* name, const char* cat = "bb");
+
+}  // namespace bb::obs
+
+#endif  // BB_OBS_TRACE_H

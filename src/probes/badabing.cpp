@@ -4,6 +4,8 @@
 #include <atomic>
 
 #include "core/streaming.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bb::probes {
 
@@ -31,6 +33,8 @@ BadabingTool::BadabingTool(sim::Scheduler& sched, const BadabingConfig& cfg,
 
 void BadabingTool::emit_probe(core::SlotIndex slot) {
     ++probes_sent_;
+    static obs::Counter& sent_ctr = obs::counter("probes.badabing.probes_sent");
+    sent_ctr.inc();
     for (int k = 0; k < cfg_.packets_per_probe; ++k) {
         sim::Packet pkt;
         pkt.id = ++next_id_;
@@ -58,6 +62,8 @@ void BadabingTool::emit_probe(core::SlotIndex slot) {
 
 void BadabingTool::accept(const sim::Packet& pkt) {
     if (pkt.kind != sim::PacketKind::probe || pkt.flow != cfg_.flow) return;
+    static obs::Counter& recv_ctr = obs::counter("probes.badabing.packets_received");
+    recv_ctr.inc();
     SlotRecord& rec = records_[pkt.seq];
     ++rec.received;
     const TimeNs skew =
@@ -113,6 +119,7 @@ void BadabingTool::emit_reports(const core::MarkingConfig& marking,
 
 BadabingResult BadabingTool::analyze(const core::MarkingConfig& marking,
                                      core::EstimatorOptions opts) const {
+    const obs::Span span{"badabing.analyze", "probes"};
     BadabingResult res;
     core::StreamingAnalyzer analyzer{opts};
     emit_reports(marking, analyzer);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace bb::scenarios {
 
 TimeNs tau_for_probe_rate(double p, TimeNs slot_width) noexcept {
@@ -87,6 +89,7 @@ probes::FixedIntervalProber& Experiment::add_fixed_prober(
 }
 
 void Experiment::run() {
+    const obs::Span span{"experiment.run", "scenarios"};
     // Drain margin: a couple of RTTs so in-flight packets and ACKs settle.
     const TimeNs margin = seconds_i(2);
     testbed_.sched().run_until(workload_cfg_.duration + margin);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -11,6 +12,8 @@ namespace bb::scenarios {
 namespace {
 
 ReplicaResult run_one(const ReplicaPlan& plan, std::size_t index, std::uint64_t seed) {
+    const obs::Span span{"replica", "scenarios", "replica",
+                         static_cast<std::int64_t>(index)};
     TestbedConfig tb = plan.testbed;
     // RED's randomized drops get their own stream so queue and workload
     // randomness stay decoupled within a replica.
@@ -30,6 +33,8 @@ ReplicaResult run_one(const ReplicaPlan& plan, std::size_t index, std::uint64_t 
         plan.marking ? *plan.marking : exp.default_marking(plan.probe.p);
     r.result = tool.analyze(marking, plan.estimator);
     r.offered_load = tool.offered_load_fraction(tb.bottleneck_rate_bps);
+    r.queue_drops = exp.testbed().bottleneck().drops();
+    for (const auto& hop : exp.testbed().upstream_hops()) r.queue_drops += hop->drops();
     return r;
 }
 
@@ -87,6 +92,7 @@ std::vector<ReplicaResult> ReplicaRunner::run(const ReplicaPlan& plan) const {
 
 AggregateRow ReplicaRunner::aggregate(const ReplicaPlan& plan,
                                       const std::vector<ReplicaResult>& results) const {
+    const obs::Span span{"aggregate", "scenarios"};
     AggregateRow row;
     row.p = plan.probe.p;
     row.replicas = results.size();
@@ -120,7 +126,7 @@ std::string aggregate_rows_json(const std::string& label, TimeNs slot_width,
                                 const std::vector<AggregateRow>& rows,
                                 const std::vector<std::vector<ReplicaResult>>& replicas) {
     std::string out = "{\"label\":\"" + label + "\",\"rows\":[";
-    char buf[256];
+    char buf[512];
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& row = rows[i];
         if (i > 0) out += ',';
@@ -131,6 +137,8 @@ std::string aggregate_rows_json(const std::string& label, TimeNs slot_width,
         append_stat(out, "true_duration_s", row.true_duration_s);
         append_stat(out, "est_duration_s", row.est_duration_s);
         append_stat(out, "offered_load", row.offered_load);
+        std::uint64_t total_drops = 0;
+        std::uint64_t total_experiments = 0;
         out += "\"trajectory\":[";
         if (i < replicas.size()) {
             for (std::size_t k = 0; k < replicas[i].size(); ++k) {
@@ -139,14 +147,24 @@ std::string aggregate_rows_json(const std::string& label, TimeNs slot_width,
                 std::snprintf(buf, sizeof buf,
                               "{\"replica\":%zu,\"seed\":%llu,\"true_frequency\":%.9g,"
                               "\"est_frequency\":%.9g,\"true_duration_s\":%.9g,"
-                              "\"est_duration_s\":%.9g}",
+                              "\"est_duration_s\":%.9g,\"queue_drops\":%llu,"
+                              "\"experiments\":%llu}",
                               r.index, static_cast<unsigned long long>(r.seed),
                               r.truth.frequency, r.est_frequency(), r.truth.mean_duration_s,
-                              r.est_duration_s(slot_width));
+                              r.est_duration_s(slot_width),
+                              static_cast<unsigned long long>(r.queue_drops),
+                              static_cast<unsigned long long>(r.result.experiments));
                 out += buf;
+                total_drops += r.queue_drops;
+                total_experiments += r.result.experiments;
             }
         }
-        out += "]}";
+        out += "],";
+        std::snprintf(buf, sizeof buf,
+                      "\"total_queue_drops\":%llu,\"total_experiments\":%llu}",
+                      static_cast<unsigned long long>(total_drops),
+                      static_cast<unsigned long long>(total_experiments));
+        out += buf;
     }
     out += "]}\n";
     return out;

@@ -45,6 +45,10 @@ struct ReplicaResult {
     measure::TruthSummary truth;
     probes::BadabingResult result;
     double offered_load{0.0};
+    // Drops summed across the bottleneck and every upstream hop of this
+    // replica's testbed; lets the obs counters be cross-checked against the
+    // run summary exactly.
+    std::uint64_t queue_drops{0};
 
     [[nodiscard]] double est_frequency() const noexcept { return result.frequency.value; }
     [[nodiscard]] double est_duration_s(TimeNs slot_width) const noexcept {

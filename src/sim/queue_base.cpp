@@ -2,7 +2,36 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace bb::sim {
+
+namespace {
+// Process-wide tallies across every queue instance; per-queue detail stays in
+// the member counters (arrivals_/drops_/departures_).
+obs::Counter& arrivals_ctr() {
+    static obs::Counter& c = obs::counter("sim.queue.arrivals");
+    return c;
+}
+obs::Counter& enqueues_ctr() {
+    static obs::Counter& c = obs::counter("sim.queue.enqueues");
+    return c;
+}
+obs::Counter& drops_ctr() {
+    static obs::Counter& c = obs::counter("sim.queue.drops");
+    return c;
+}
+obs::Counter& departures_ctr() {
+    static obs::Counter& c = obs::counter("sim.queue.departures");
+    return c;
+}
+
+void refresh_loss_rate() {
+    static obs::Gauge& g = obs::gauge("sim.queue.loss_rate");
+    const double a = static_cast<double>(arrivals_ctr().value());
+    if (a > 0) g.set(static_cast<double>(drops_ctr().value()) / a);
+}
+}  // namespace
 
 QueueBase::QueueBase(Scheduler& sched, const LinkConfig& cfg, PacketSink& downstream)
     : sched_{&sched}, cfg_{cfg}, capacity_bytes_{cfg.capacity_bytes}, downstream_{&downstream} {
@@ -15,17 +44,22 @@ QueueBase::QueueBase(Scheduler& sched, const LinkConfig& cfg, PacketSink& downst
 
 void QueueBase::accept(const Packet& pkt) {
     ++arrivals_;
+    arrivals_ctr().inc();
     // The policy decides first (and updates its own state, e.g. RED's EWMA);
     // the physical-buffer check is enforced unconditionally afterwards.
     const bool admitted = admit(pkt);
     if (!admitted || buffer_overflows(pkt)) {
         ++drops_;
+        drops_ctr().inc();
+        if (obs::enabled()) refresh_loss_rate();
         const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
         for (const auto& h : drop_hooks_) h(ev);
         return;
     }
     fifo_.push_back(pkt);
     queued_bytes_ += pkt.size_bytes;
+    enqueues_ctr().inc();
+    if ((arrivals_ & 1023U) == 0 && obs::enabled()) refresh_loss_rate();
     const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
     for (const auto& h : enqueue_hooks_) h(ev);
     if (!transmitting_) start_transmission();
@@ -48,6 +82,7 @@ void QueueBase::start_transmission() {
 
 void QueueBase::finish_transmission(Packet pkt) {
     ++departures_;
+    departures_ctr().inc();
     departed_bytes_ += pkt.size_bytes;
     in_flight_bytes_ = 0;
     const QueueEvent ev{pkt, sched_->now(), queued_bytes_};

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bb::sim {
 
 EventId Scheduler::schedule_at(TimeNs at, std::function<void()> fn) {
@@ -16,6 +18,9 @@ EventId Scheduler::schedule_at(TimeNs at, std::function<void()> fn) {
 }
 
 void Scheduler::run_until(TimeNs t_end) {
+    static obs::Counter& dispatched = obs::counter("sim.scheduler.events_dispatched");
+    static obs::Gauge& depth = obs::gauge("sim.scheduler.queue_depth");
+    std::uint64_t ran = 0;
     while (!heap_.empty()) {
         if (heap_.front().at > t_end) break;
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
@@ -28,7 +33,15 @@ void Scheduler::run_until(TimeNs t_end) {
         assert(entry.at >= now_);
         now_ = entry.at;
         ++executed_;
+        ++ran;
+        if ((ran & 1023U) == 0 && obs::enabled()) {
+            depth.set(static_cast<double>(heap_.size()));
+        }
         entry.fn();
+    }
+    if (ran != 0) {
+        dispatched.inc(ran);
+        depth.set(static_cast<double>(heap_.size()));
     }
     if (t_end != TimeNs::max() && t_end > now_) now_ = t_end;
 }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/log.h"
+
 namespace bb {
 
 namespace {
@@ -89,8 +91,8 @@ bool FlagSet::is_set(const std::string& name) const {
 
 bool FlagSet::fail(const std::string& message) {
     error_ = message;
-    std::fprintf(stderr, "%s: %s\n", program_.c_str(), message.c_str());
-    std::fprintf(stderr, "run with --help for usage\n");
+    obs::log(obs::LogLevel::error, program_ + ": " + message);
+    obs::log(obs::LogLevel::error, "run with --help for usage");
     return false;
 }
 

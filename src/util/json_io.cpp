@@ -2,18 +2,20 @@
 
 #include <cstdio>
 
+#include "obs/log.h"
+
 namespace bb {
 
 bool write_text_file(const std::string& path, std::string_view content) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        obs::logf(obs::LogLevel::warn, "cannot write %s", path.c_str());
         return false;
     }
     const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
     const bool closed_ok = std::fclose(f) == 0;
     if (written != content.size() || !closed_ok) {
-        std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+        obs::logf(obs::LogLevel::warn, "short write to %s", path.c_str());
         return false;
     }
     return true;

@@ -1,9 +1,28 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace bb {
+
+namespace {
+// Cached once; pool workers on any thread stripe into the same metrics.
+obs::Counter& tasks_counter() {
+    static obs::Counter& c = obs::counter("util.pool.tasks_completed");
+    return c;
+}
+obs::Counter& idle_counter() {
+    static obs::Counter& c = obs::counter("util.pool.idle_waits");
+    return c;
+}
+obs::Histogram& task_latency_us() {
+    static obs::Histogram& h = obs::histogram("util.pool.task_us");
+    return h;
+}
+}  // namespace
 
 std::size_t ThreadPool::default_threads() noexcept {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -32,12 +51,24 @@ void ThreadPool::worker_loop() {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock{mu_};
+            if (!stop_ && queue_.empty()) idle_counter().inc();
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty()) return;  // stop_ set and nothing left to drain
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();  // packaged_task: exceptions land in the future, never here
+        // Only pay for the clock reads while observability is on.
+        if (obs::enabled()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            task();  // packaged_task: exceptions land in the future, never here
+            const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            task_latency_us().record(us);
+            tasks_counter().inc();
+        } else {
+            task();
+        }
     }
 }
 

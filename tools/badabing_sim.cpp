@@ -14,14 +14,16 @@
 // the online estimators slot by slot, so --slots can be 1e8 or more while
 // resident memory stays constant (no series, design, or report vector is
 // ever materialized).
-#include <sys/resource.h>
-
 #include <cstdio>
 #include <string>
 
 #include "core/streaming.h"
 #include "core/synthetic.h"
 #include "core/trace_io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/trace.h"
 #include "scenarios/experiment.h"
 #include "scenarios/replica_runner.h"
 #include "util/flags.h"
@@ -52,16 +54,35 @@ bool pick_scenario(const std::string& name, bb::scenarios::WorkloadConfig& wl) {
     return false;
 }
 
-long max_rss_kb() {
-    struct rusage ru{};
-    getrusage(RUSAGE_SELF, &ru);
-    return ru.ru_maxrss;  // kilobytes on Linux
+// Flush the observability export surfaces at tool exit.  Either file failing
+// to write is a tool failure (exit code 1), matching the JSON outputs.
+int finish_obs(const std::string& metrics_path, const std::string& trace_path) {
+    int rc = 0;
+    if (!trace_path.empty()) {
+        if (bb::obs::Trace::write(trace_path)) {
+            std::printf("trace-out    : wrote %s\n", trace_path.c_str());
+        } else {
+            rc = 1;
+        }
+    }
+    if (!metrics_path.empty()) {
+        if (bb::obs::write_metrics_file(metrics_path)) {
+            std::printf("metrics-json : wrote %s\n", metrics_path.c_str());
+        } else {
+            rc = 1;
+        }
+    }
+    const bb::obs::ProcessStats ps = bb::obs::process_stats();
+    std::printf("process      : max RSS %lld KiB, cpu %.2fs user %.2fs sys\n",
+                static_cast<long long>(ps.max_rss_kb), ps.user_cpu_s, ps.system_cpu_s);
+    return rc;
 }
 
 // The bounded-memory pipeline: synthetic congestion generator -> streaming
 // scorer -> online estimators, one slot at a time.
 int run_stream(std::int64_t slots, double p, bool improved, double mean_on, double mean_off,
-               std::uint64_t seed, const std::string& json_path) {
+               std::uint64_t seed, const std::string& json_path,
+               std::int64_t snapshot_slots) {
     using namespace bb;
     if (slots < 1) {
         std::fprintf(stderr, "--slots must be >= 1\n");
@@ -84,11 +105,20 @@ int run_stream(std::int64_t slots, double p, bool improved, double mean_on, doub
         const bool congested = gen.next();
         truth.consume(congested);
         scorer.step(congested);
+        // Periodic metrics snapshot, keyed on slot count (not wall clock) so
+        // output stays deterministic across machines.
+        if (snapshot_slots > 0 && (s + 1) % snapshot_slots == 0) {
+            obs::logf(obs::LogLevel::info,
+                      "snapshot slot %lld/%lld: reports_scored %llu, max RSS %lld KiB",
+                      static_cast<long long>(s + 1), static_cast<long long>(slots),
+                      static_cast<unsigned long long>(analyzer.reports()),
+                      static_cast<long long>(obs::process_stats().max_rss_kb));
+        }
     }
 
     const core::SeriesTruth t = truth.finalize();
     const core::StreamingAnalyzer::Result res = analyzer.finalize();
-    const long rss_kb = max_rss_kb();
+    const long rss_kb = static_cast<long>(obs::process_stats().max_rss_kb);
 
     std::printf("\nground truth : frequency %.4f | duration %.2f slots | %zu episodes\n",
                 t.frequency, t.mean_duration_slots, t.episodes);
@@ -170,11 +200,25 @@ int main(int argc, char** argv) {
         flags.add_double("mean-on-slots", 20.0, "mean episode length in slots (--stream)");
     const auto* mean_off =
         flags.add_double("mean-off-slots", 180.0, "mean gap length in slots (--stream)");
+    const auto* metrics_json =
+        flags.add_string("metrics-json", "", "write obs metrics snapshot to FILE at exit");
+    const auto* trace_out = flags.add_string(
+        "trace-out", "", "write Chrome trace_event JSON (Perfetto-loadable) to FILE");
+    const auto* snapshot_slots = flags.add_int(
+        "snapshot-slots", 10'000'000,
+        "print a metrics snapshot every N slots in --stream mode (0 = off)");
     if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
 
+    // Explicit export flags beat the ambient BB_OBS kill switch.
+    if (!metrics_json->empty() || !trace_out->empty()) obs::set_enabled(true);
+    if (!trace_out->empty()) obs::Trace::start();
+
     if (*stream) {
-        return run_stream(*slots, *p, *improved, *mean_on, *mean_off,
-                          static_cast<std::uint64_t>(*seed), *json);
+        const int rc = run_stream(*slots, *p, *improved, *mean_on, *mean_off,
+                                  static_cast<std::uint64_t>(*seed), *json,
+                                  *snapshot_slots);
+        const int orc = finish_obs(*metrics_json, *trace_out);
+        return rc != 0 ? rc : orc;
     }
 
     scenarios::TestbedConfig tb;
@@ -247,13 +291,18 @@ int main(int argc, char** argv) {
                     agg.est_duration_s.ci.lo, agg.est_duration_s.ci.hi);
         std::printf("  probe load: %.4f of bottleneck\n", agg.offered_load.mean);
 
+        int exit_code = 0;
         if (!json->empty()) {
             const auto doc = scenarios::aggregate_rows_json(
                 *scenario, plan.probe.slot_width, {agg}, {results});
-            if (!write_text_file(*json, doc)) return 1;
-            std::printf("json      : wrote %s\n", json->c_str());
+            if (write_text_file(*json, doc)) {
+                std::printf("json      : wrote %s\n", json->c_str());
+            } else {
+                exit_code = 1;
+            }
         }
-        return 0;
+        const int orc = finish_obs(*metrics_json, *trace_out);
+        return exit_code != 0 ? exit_code : orc;
     }
 
     scenarios::Experiment exp{tb, wl, tc};
@@ -303,5 +352,5 @@ int main(int argc, char** argv) {
         core::write_design_file(*design, tool.design().experiments);
         std::printf("design       : wrote %s\n", design->c_str());
     }
-    return 0;
+    return finish_obs(*metrics_json, *trace_out);
 }

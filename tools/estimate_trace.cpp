@@ -17,7 +17,37 @@
 #include "core/trace_io.h"
 #include "core/validation.h"
 #include "core/windowed.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/trace.h"
 #include "util/flags.h"
+
+namespace {
+
+// Shared exit path: flush the obs export files and report process stats.
+int finish_obs(const std::string& metrics_path, const std::string& trace_path) {
+    int rc = 0;
+    if (!trace_path.empty()) {
+        if (bb::obs::Trace::write(trace_path)) {
+            std::printf("trace-out    : wrote %s\n", trace_path.c_str());
+        } else {
+            rc = 1;
+        }
+    }
+    if (!metrics_path.empty()) {
+        if (bb::obs::write_metrics_file(metrics_path)) {
+            std::printf("metrics-json : wrote %s\n", metrics_path.c_str());
+        } else {
+            rc = 1;
+        }
+    }
+    const bb::obs::ProcessStats ps = bb::obs::process_stats();
+    std::printf("process      : max RSS %lld KiB, cpu %.2fs user %.2fs sys\n",
+                static_cast<long long>(ps.max_rss_kb), ps.user_cpu_s, ps.system_cpu_s);
+    return rc;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace bb;
@@ -35,7 +65,14 @@ int main(int argc, char** argv) {
         "stream", false,
         "stream the design through the online estimators (no report vector; "
         "skips bootstrap/markov/stationarity)");
+    const auto* metrics_json =
+        flags.add_string("metrics-json", "", "write obs metrics snapshot to FILE at exit");
+    const auto* trace_out = flags.add_string(
+        "trace-out", "", "write Chrome trace_event JSON (Perfetto-loadable) to FILE");
     if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
+    // Explicit export flags beat the ambient BB_OBS kill switch.
+    if (!metrics_json->empty() || !trace_out->empty()) obs::set_enabled(true);
+    if (!trace_out->empty()) obs::Trace::start();
     if (trace_path->empty() || design_path->empty()) {
         std::fprintf(stderr, "estimate_trace: --trace and --design are required\n");
         return 1;
@@ -103,7 +140,7 @@ int main(int argc, char** argv) {
         }
         std::printf("note         : bootstrap/markov/stationarity need the full report "
                     "sequence; run without --stream for those\n");
-        return 0;
+        return finish_obs(*metrics_json, *trace_out);
     }
 
     const auto experiments = read_design_file(*design_path);
@@ -111,6 +148,15 @@ int main(int argc, char** argv) {
 
     StateCounts counts;
     for (const auto& r : results) counts.add(r);
+
+    // The batch path never goes through StreamingAnalyzer, so publish the
+    // same metrics it would have (keeps both modes comparable in exports).
+    obs::counter("core.reports_scored").inc(results.size());
+    obs::counter("core.reports.b00").inc(counts.basic[0]);
+    obs::counter("core.reports.b01").inc(counts.basic[1]);
+    obs::counter("core.reports.b10").inc(counts.basic[2]);
+    obs::counter("core.reports.b11").inc(counts.basic[3]);
+    obs::counter("core.reports.extended").inc(counts.extended_total());
     const auto freq = estimate_frequency(counts);
     const auto dur = estimate_duration_basic(counts);
     const auto dur_improved = estimate_duration_improved(counts);
@@ -162,5 +208,5 @@ int main(int argc, char** argv) {
                         ci.duration_slots.hi * slot.to_seconds());
         }
     }
-    return 0;
+    return finish_obs(*metrics_json, *trace_out);
 }

@@ -6,6 +6,9 @@
 #include <string>
 
 #include "core/delay_stats.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/trace.h"
 #include "scenarios/experiment.h"
 #include "util/flags.h"
 
@@ -22,7 +25,15 @@ int main(int argc, char** argv) {
     const auto* duration_s = flags.add_int("duration-s", 900, "measured interval, seconds");
     const auto* rate_mbps = flags.add_int("rate-mbps", 30, "bottleneck rate, Mb/s");
     const auto* seed = flags.add_int("seed", 7, "RNG seed");
+    const auto* metrics_json =
+        flags.add_string("metrics-json", "", "write obs metrics snapshot to FILE at exit");
+    const auto* trace_out = flags.add_string(
+        "trace-out", "", "write Chrome trace_event JSON (Perfetto-loadable) to FILE");
     if (!flags.parse(argc, argv)) return flags.error().empty() ? 0 : 1;
+
+    // Explicit export flags beat the ambient BB_OBS kill switch.
+    if (!metrics_json->empty() || !trace_out->empty()) obs::set_enabled(true);
+    if (!trace_out->empty()) obs::Trace::start();
 
     scenarios::TestbedConfig tb;
     tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
@@ -76,5 +87,26 @@ int main(int argc, char** argv) {
                     delays.base_delay.to_seconds(), delays.p50_queueing_s,
                     delays.p95_queueing_s, delays.p99_queueing_s, delays.max_queueing_s);
     }
-    return 0;
+
+    // ZING has no streaming analyzer; publish its totals as tool-level
+    // counters so the metrics export covers this prober too.
+    obs::counter("probes.zing.probes_sent").inc(res.sent);
+    obs::counter("probes.zing.probes_lost").inc(res.lost);
+
+    int rc = 0;
+    if (!trace_out->empty() && !obs::Trace::write(*trace_out)) rc = 1;
+    if (!trace_out->empty() && rc == 0) {
+        std::printf("trace-out    : wrote %s\n", trace_out->c_str());
+    }
+    if (!metrics_json->empty()) {
+        if (obs::write_metrics_file(*metrics_json)) {
+            std::printf("metrics-json : wrote %s\n", metrics_json->c_str());
+        } else {
+            rc = 1;
+        }
+    }
+    const obs::ProcessStats ps = obs::process_stats();
+    std::printf("process      : max RSS %lld KiB, cpu %.2fs user %.2fs sys\n",
+                static_cast<long long>(ps.max_rss_kb), ps.user_cpu_s, ps.system_cpu_s);
+    return rc;
 }
