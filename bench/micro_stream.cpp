@@ -7,7 +7,9 @@
 // O(1) memory) — checks the estimates agree exactly, and reports throughput.
 //
 //   BB_BENCH_STREAM_SLOTS  largest slot count exercised (default 10'000'000)
+//   BB_BENCH_STREAM_REPS   timed reps per size, best-of (default 3)
 //   BB_BENCH_JSON          directory for BENCH_micro_stream.json (default .)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +52,7 @@ struct Row {
     bool identical{false};
 };
 
-Row run_size(std::int64_t slots, const core::ProbeProcessConfig& pcfg) {
+Row run_size_once(std::int64_t slots, const core::ProbeProcessConfig& pcfg) {
     Row row;
     row.slots = slots;
 
@@ -88,10 +90,25 @@ Row run_size(std::int64_t slots, const core::ProbeProcessConfig& pcfg) {
     return row;
 }
 
+// Best-of-N timing (identity flags must hold on every rep): single samples of
+// multi-hundred-ms loops swing by ±20% on a busy machine, the min does not.
+Row run_size(std::int64_t slots, const core::ProbeProcessConfig& pcfg, std::int64_t reps) {
+    Row best = run_size_once(slots, pcfg);
+    for (std::int64_t r = 1; r < reps; ++r) {
+        Row next = run_size_once(slots, pcfg);
+        next.batch_ms = std::min(next.batch_ms, best.batch_ms);
+        next.stream_ms = std::min(next.stream_ms, best.stream_ms);
+        next.identical = next.identical && best.identical;
+        best = next;
+    }
+    return best;
+}
+
 }  // namespace
 
 int main() {
     const std::int64_t max_slots = env_int("BB_BENCH_STREAM_SLOTS", 10'000'000);
+    const std::int64_t reps = std::max<std::int64_t>(1, env_int("BB_BENCH_STREAM_REPS", 3));
 
     core::ProbeProcessConfig pcfg;
     pcfg.p = 0.3;
@@ -107,7 +124,7 @@ int main() {
 
     std::vector<Row> rows;
     for (const std::int64_t slots : sizes) {
-        const Row row = run_size(slots, pcfg);
+        const Row row = run_size(slots, pcfg, reps);
         rows.push_back(row);
         std::printf("%-12lld | %-10.1f | %-10.1f | %-9.2f | %-10.2f | %s\n",
                     static_cast<long long>(row.slots), row.batch_ms, row.stream_ms,

@@ -5,6 +5,7 @@
 #   BB_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the AddressSanitizer stage
 #   BB_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the ThreadSanitizer stage
 #   BB_CI_SKIP_OBS=1 scripts/ci.sh    # skip the observability stage
+#   BB_SKIP_BENCH=1 scripts/ci.sh     # skip the perf-regression stage
 #
 # Each stage uses its own build directory (build, build-asan, build-tsan) so
 # sanitizer flags never leak into the primary build. BB_SANITIZE is the
@@ -30,6 +31,11 @@ if [[ "${BB_CI_SKIP_OBS:-0}" != 1 ]]; then
   echo "==> obs: micro_obs smoke (assert-only, timing gate off)"
   BB_OBS_BENCH_GATE=off BB_OBS_BENCH_SLOTS=500000 BB_OBS_BENCH_REPS=1 \
     BB_BENCH_JSON=build ./build/bench/micro_obs
+fi
+
+if [[ "${BB_SKIP_BENCH:-0}" != 1 ]]; then
+  echo "==> bench: perf-regression smoke (BB_BENCH_FAST=1 scripts/bench.sh --compare)"
+  BB_BENCH_FAST=1 scripts/bench.sh --compare
 fi
 
 if [[ "${BB_CI_SKIP_ASAN:-0}" != 1 ]]; then

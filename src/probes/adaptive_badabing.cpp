@@ -71,9 +71,12 @@ void AdaptiveBadabingTool::emit_probe(core::SlotIndex slot) {
         if (k == 0) {
             out_->accept(pkt);
         } else {
-            sched_->schedule_after(cfg_.intra_probe_gap * k, [this, pkt]() mutable {
-                pkt.sent_at = sched_->now();
-                out_->accept(pkt);
+            // Parked in the per-replica pool; re-stamped at emission time.
+            const sim::PacketPool::Handle h = sched_->packet_pool().put(pkt);
+            sched_->schedule_after(cfg_.intra_probe_gap * k, [this, h] {
+                sim::Packet p = sched_->packet_pool().take(h);
+                p.sent_at = sched_->now();
+                out_->accept(p);
             });
         }
     }

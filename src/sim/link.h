@@ -24,7 +24,9 @@ public:
         : sched_{&sched}, delay_{delay}, downstream_{&downstream} {}
 
     void accept(const Packet& pkt) override {
-        sched_->schedule_after(delay_, [pkt, sink = downstream_] { sink->accept(pkt); });
+        // Parked in the scheduler's per-replica packet pool: the delivery
+        // event carries a 32-bit handle, so no per-packet heap allocation.
+        sched_->deliver_after(delay_, pkt, *downstream_);
     }
 
     [[nodiscard]] TimeNs delay() const noexcept { return delay_; }

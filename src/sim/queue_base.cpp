@@ -77,7 +77,11 @@ void QueueBase::start_transmission() {
     queued_bytes_ -= pkt.size_bytes;
     in_flight_bytes_ = pkt.size_bytes;
     const TimeNs tx = transmission_time(pkt.size_bytes, cfg_.rate_bps);
-    sched_->schedule_after(tx, [this, pkt] { finish_transmission(pkt); });
+    // Park the in-flight packet in the per-replica pool so the completion
+    // event stays inline (16-byte capture instead of 80).
+    const PacketPool::Handle h = sched_->packet_pool().put(pkt);
+    sched_->schedule_after(
+        tx, [this, h] { finish_transmission(sched_->packet_pool().take(h)); });
 }
 
 void QueueBase::finish_transmission(Packet pkt) {
@@ -88,8 +92,7 @@ void QueueBase::finish_transmission(Packet pkt) {
     const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
     for (const auto& h : dequeue_hooks_) h(ev);
     // Propagation happens in parallel with the next transmission.
-    sched_->schedule_after(cfg_.prop_delay,
-                           [pkt, sink = downstream_] { sink->accept(pkt); });
+    sched_->deliver_after(cfg_.prop_delay, pkt, *downstream_);
     start_transmission();
 }
 

@@ -9,12 +9,108 @@
 
 namespace bb::sim {
 
-EventId Scheduler::schedule_at(TimeNs at, std::function<void()> fn) {
+// --- arena --------------------------------------------------------------
+
+void Scheduler::release_slot(std::uint32_t s) noexcept {
+    Slot& slot = arena_[s];
+    slot.fn.reset();
+    ++slot.gen;  // invalidates every outstanding id/ticket for this slot
+    slot.next_free = free_head_;
+    free_head_ = s;
+}
+
+// --- 4-ary heap ---------------------------------------------------------
+//
+// Children of i are 4i+1 .. 4i+4, parent is (i-1)/4.  Min element at the
+// root; ordering is earlier() on (time, insertion seq).
+
+void Scheduler::heap_push(const Ticket& t) {
+    heap_.push_back(t);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!earlier(heap_[i], heap_[parent])) break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void Scheduler::sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) return;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (earlier(heap_[c], heap_[best])) best = c;
+        }
+        if (!earlier(heap_[best], heap_[i])) return;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
+void Scheduler::heap_drop_top() noexcept {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+}
+
+void Scheduler::compact_if_mostly_stale() {
+    if (stale_ <= 64 || stale_ * 2 <= heap_.size()) return;
+    std::size_t kept = 0;
+    for (const Ticket& t : heap_) {
+        if (ticket_live(t)) heap_[kept++] = t;
+    }
+    heap_.resize(kept);
+    // Floyd heap construction: sift internal nodes down, leaves are trivial.
+    for (std::size_t i = kept / 4 + 1; i-- > 0;) {
+        if (i < kept) sift_down(i);
+    }
+    stale_ = 0;
+}
+
+// --- scheduling ---------------------------------------------------------
+
+void Scheduler::check_future(TimeNs at) const {
     if (at < now_) throw std::invalid_argument{"Scheduler: event scheduled in the past"};
-    const EventId id = next_id_++;
-    heap_.push_back(Entry{at, id, std::move(fn)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    return id;
+}
+
+EventId Scheduler::schedule_event(TimeNs at, Event ev) {
+    check_future(at);
+    const std::uint32_t s = acquire_raw_slot();
+    arena_[s].fn = std::move(ev);
+    return commit_slot(at, s);
+}
+
+EventId Scheduler::deliver_after(TimeNs delay, const Packet& pkt, PacketSink& sink) {
+    struct Delivery {
+        PacketPool* pool;
+        PacketSink* sink;
+        PacketPool::Handle handle;
+        void operator()() const { sink->accept(pool->take(handle)); }
+    };
+    static_assert(sizeof(Delivery) <= Event::kInlineBytes);
+    const PacketPool::Handle h = packets_.put(pkt);
+    return schedule_at(now_ + delay, Delivery{&packets_, &sink, h});
+}
+
+void Scheduler::cancel(EventId id) noexcept {
+    const auto s = static_cast<std::uint32_t>(id & 0xFFFF'FFFFu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (s >= arena_.size() || arena_[s].gen != gen) return;  // fired/cancelled/unknown
+    release_slot(s);
+    --live_;
+    ++cancelled_;
+    ++stale_;
+    compact_if_mostly_stale();
+}
+
+void Scheduler::reserve(std::size_t events) {
+    arena_.reserve(events);
+    heap_.reserve(events);
+    packets_.reserve(events);
 }
 
 void Scheduler::run_until(TimeNs t_end) {
@@ -22,22 +118,25 @@ void Scheduler::run_until(TimeNs t_end) {
     static obs::Gauge& depth = obs::gauge("sim.scheduler.queue_depth");
     std::uint64_t ran = 0;
     while (!heap_.empty()) {
-        if (heap_.front().at > t_end) break;
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        Entry entry = std::move(heap_.back());
-        heap_.pop_back();
-        if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-            cancelled_.erase(it);
+        const Ticket top = heap_.front();
+        if (!ticket_live(top)) {  // cancelled: discard without touching the clock
+            heap_drop_top();
+            --stale_;
             continue;
         }
-        assert(entry.at >= now_);
-        now_ = entry.at;
+        if (top.at > t_end) break;
+        heap_drop_top();
+        assert(top.at >= now_);
+        now_ = top.at;
+        Event fn = std::move(arena_[top.slot].fn);
+        release_slot(top.slot);
+        --live_;
         ++executed_;
         ++ran;
         if ((ran & 1023U) == 0 && obs::enabled()) {
             depth.set(static_cast<double>(heap_.size()));
         }
-        entry.fn();
+        fn();
     }
     if (ran != 0) {
         dispatched.inc(ran);

@@ -2,20 +2,41 @@
 //
 // Events are closures ordered by (time, insertion sequence); ties are broken
 // by insertion order so runs are fully deterministic.  Events can be
-// cancelled (needed for TCP retransmission timers); cancellation is lazy.
+// cancelled (needed for TCP retransmission timers).
+//
+// Hot-path design (DESIGN.md §9):
+//   * Events are move-only UniqueFunction<void()> callables — captures up to
+//     48 bytes live inline, so the common [this]-style events and pooled
+//     packet deliveries never touch the heap.
+//   * Event bodies are parked in a free-list arena; the ready queue is an
+//     implicit 4-ary heap of 24-byte tickets (time, sequence, slot,
+//     generation), which halves the tree depth of a binary heap and keeps
+//     sift paths inside one or two cache lines.
+//   * Cancellation bumps the arena slot's generation counter — O(1), no
+//     hashing.  Tickets whose generation no longer matches are dropped
+//     lazily at pop time; when more than half the heap is stale it is
+//     compacted in place, so schedule/cancel churn can never grow the heap
+//     (or the cancel bookkeeping) without bound.
 #ifndef BB_SIM_SCHEDULER_H
 #define BB_SIM_SCHEDULER_H
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/packet_pool.h"
+#include "util/func.h"
 #include "util/time.h"
 
 namespace bb::sim {
 
+// (generation << 32) | arena slot.  Ids are never reused: recycling a slot
+// bumps its generation, so a stale id can neither cancel nor observe the
+// event that now occupies the slot.
 using EventId = std::uint64_t;
+
+using Event = UniqueFunction<void()>;
 
 class Scheduler {
 public:
@@ -25,17 +46,34 @@ public:
 
     [[nodiscard]] TimeNs now() const noexcept { return now_; }
 
-    // Schedule `fn` to run at absolute time `at` (>= now).
-    EventId schedule_at(TimeNs at, std::function<void()> fn);
-
-    // Schedule `fn` to run `delay` after the current time.
-    EventId schedule_after(TimeNs delay, std::function<void()> fn) {
-        return schedule_at(now_ + delay, std::move(fn));
+    // Schedule `fn` to run at absolute time `at` (>= now).  The callable is
+    // constructed directly in its arena slot — no intermediate Event moves.
+    template <typename F>
+    EventId schedule_at(TimeNs at, F&& fn) {
+        if constexpr (std::is_same_v<std::decay_t<F>, Event>) {
+            return schedule_event(at, std::forward<F>(fn));
+        } else {
+            check_future(at);
+            const std::uint32_t s = acquire_raw_slot();
+            arena_[s].fn.emplace(std::forward<F>(fn));
+            return commit_slot(at, s);
+        }
     }
 
+    // Schedule `fn` to run `delay` after the current time.
+    template <typename F>
+    EventId schedule_after(TimeNs delay, F&& fn) {
+        return schedule_at(now_ + delay, std::forward<F>(fn));
+    }
+
+    // Park `pkt` in the per-replica packet pool and deliver it to `sink`
+    // after `delay`.  The event captures a 32-bit handle instead of the
+    // 72-byte packet, so it stays inline; the slot is recycled on delivery.
+    EventId deliver_after(TimeNs delay, const Packet& pkt, PacketSink& sink);
+
     // Cancel a pending event.  Cancelling an already-fired or unknown id is a
-    // harmless no-op.
-    void cancel(EventId id) { cancelled_.insert(id); }
+    // harmless O(1) no-op.
+    void cancel(EventId id) noexcept;
 
     // Run events until the queue is empty or simulated time would exceed
     // `t_end`.  Events scheduled exactly at `t_end` run.  On return, now() is
@@ -45,31 +83,83 @@ public:
     // Run until the event queue drains completely.
     void run() { run_until(TimeNs::max()); }
 
-    // Number of entries still in the heap (cancelled-but-unpopped entries are
-    // included; the count is an upper bound on live events).
+    // Pre-size the event arena and ready queue (and the packet pool) so the
+    // steady state performs no allocations at all.
+    void reserve(std::size_t events);
+
+    // Number of tickets still in the ready queue (cancelled-but-uncompacted
+    // tickets are included; the count is an upper bound on live events).
     [[nodiscard]] std::size_t pending_events() const noexcept { return heap_.size(); }
+    // Exact number of scheduled-and-not-yet-fired (nor cancelled) events.
+    [[nodiscard]] std::size_t live_events() const noexcept { return live_; }
+    // Arena footprint, for bounded-memory assertions in tests and benches.
+    [[nodiscard]] std::size_t arena_slots() const noexcept { return arena_.size(); }
     [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+    [[nodiscard]] std::uint64_t cancelled_events() const noexcept { return cancelled_; }
+
+    [[nodiscard]] PacketPool& packet_pool() noexcept { return packets_; }
 
 private:
-    struct Entry {
-        TimeNs at;
-        EventId id;
-        std::function<void()> fn;
+    static constexpr std::uint32_t kNoFree = 0xFFFF'FFFFu;
+
+    struct Slot {
+        Event fn;
+        std::uint32_t gen{0};
+        std::uint32_t next_free{kNoFree};
     };
-    // Min-heap on (at, id) via std::push_heap/pop_heap over a plain vector,
-    // so entries stay mutable and the closure can be moved out when popped.
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            return a.id > b.id;
-        }
+    // 24-byte heap ticket; the callable stays put in the arena while the
+    // ticket percolates, so sifts move 24 bytes instead of a closure.
+    struct Ticket {
+        TimeNs at;
+        std::uint64_t seq;  // insertion order, the deterministic tie-break
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
+    EventId schedule_event(TimeNs at, Event ev);
+    void check_future(TimeNs at) const;  // throws std::invalid_argument on past
+    // Pop a free (or freshly grown) slot off the free list; fn is empty.
+    [[nodiscard]] std::uint32_t acquire_raw_slot() {
+        if (free_head_ == kNoFree) {
+            arena_.emplace_back();
+            return static_cast<std::uint32_t>(arena_.size() - 1);
+        }
+        const std::uint32_t s = free_head_;
+        Slot& slot = arena_[s];
+        free_head_ = slot.next_free;
+        slot.next_free = kNoFree;
+        return s;
+    }
+    // Ticket the filled slot `s` into the ready queue and mint its id.
+    EventId commit_slot(TimeNs at, std::uint32_t s) {
+        const std::uint32_t gen = arena_[s].gen;
+        heap_push(Ticket{at, seq_++, s, gen});
+        ++live_;
+        return (static_cast<EventId>(gen) << 32) | s;
+    }
+    [[nodiscard]] bool ticket_live(const Ticket& t) const noexcept {
+        return arena_[t.slot].gen == t.gen;
+    }
+    [[nodiscard]] static bool earlier(const Ticket& a, const Ticket& b) noexcept {
+        if (a.at != b.at) return a.at < b.at;
+        return a.seq < b.seq;
+    }
+    void heap_push(const Ticket& t);
+    void heap_drop_top() noexcept;  // remove heap_[0], restore heap order
+    void sift_down(std::size_t i) noexcept;
+    void compact_if_mostly_stale();
+    void release_slot(std::uint32_t slot) noexcept;
+
     TimeNs now_{TimeNs::zero()};
-    EventId next_id_{1};
+    std::uint64_t seq_{0};
     std::uint64_t executed_{0};
-    std::vector<Entry> heap_;
-    std::unordered_set<EventId> cancelled_;
+    std::uint64_t cancelled_{0};
+    std::size_t live_{0};
+    std::size_t stale_{0};  // cancelled tickets still sitting in the heap
+    std::uint32_t free_head_{kNoFree};
+    std::vector<Slot> arena_;
+    std::vector<Ticket> heap_;
+    PacketPool packets_;
 };
 
 }  // namespace bb::sim

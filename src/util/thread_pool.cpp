@@ -48,7 +48,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
     for (;;) {
-        std::function<void()> task;
+        UniqueFunction<void()> task;
         {
             std::unique_lock<std::mutex> lock{mu_};
             if (!stop_ && queue_.empty()) idle_counter().inc();

@@ -20,6 +20,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/func.h"
+
 namespace bb {
 
 class ThreadPool {
@@ -36,15 +38,18 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
     // Enqueue one task.  The returned future yields the task's result, or
-    // rethrows whatever the task threw.
+    // rethrows whatever the task threw.  The packaged_task is moved straight
+    // into the queue's move-only wrapper (it fits the inline buffer), so the
+    // only allocation is the future's shared state — not the old
+    // make_shared<packaged_task> + std::function pair.
     template <typename F>
     [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
         using R = std::invoke_result_t<F>;
-        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-        std::future<R> fut = task->get_future();
+        std::packaged_task<R()> task{std::forward<F>(fn)};
+        std::future<R> fut = task.get_future();
         {
             const std::lock_guard<std::mutex> lock{mu_};
-            queue_.emplace_back([task] { (*task)(); });
+            queue_.emplace_back(std::move(task));
         }
         cv_.notify_one();
         return fut;
@@ -63,7 +68,7 @@ private:
 
     std::mutex mu_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<UniqueFunction<void()>> queue_;
     bool stop_{false};
     std::vector<std::thread> workers_;
 };

@@ -1,0 +1,137 @@
+#include "util/func.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bb {
+namespace {
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty) {
+    UniqueFunction<void()> f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_FALSE(f.is_inline());
+}
+
+TEST(UniqueFunction, InvokesSmallTargetInline) {
+    int hits = 0;
+    UniqueFunction<void()> f{[&hits] { ++hits; }};
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_TRUE(f.is_inline());
+    f();
+    f();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, ReturnsValuesAndTakesArguments) {
+    UniqueFunction<int(int, int)> add{[](int a, int b) { return a + b; }};
+    EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(UniqueFunction, CapturesUpTo48BytesStayInline) {
+    std::array<std::uint64_t, 6> payload{1, 2, 3, 4, 5, 6};  // exactly 48 bytes
+    UniqueFunction<std::uint64_t()> f{[payload] { return payload[5]; }};
+    EXPECT_TRUE(f.is_inline());
+    EXPECT_EQ(f(), 6u);
+}
+
+TEST(UniqueFunction, LargeCapturesFallBackToHeap) {
+    std::array<std::uint64_t, 8> payload{};  // 64 bytes > inline buffer
+    payload[7] = 42;
+    UniqueFunction<std::uint64_t()> f{[payload] { return payload[7]; }};
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(f(), 42u);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCallables) {
+    auto ptr = std::make_unique<int>(7);
+    UniqueFunction<int()> f{[p = std::move(ptr)] { return *p; }};
+    EXPECT_EQ(f(), 7);
+}
+
+TEST(UniqueFunction, MoveTransfersTargetAndEmptiesSource) {
+    int hits = 0;
+    UniqueFunction<void()> a{[&hits] { ++hits; }};
+    UniqueFunction<void()> b{std::move(a)};
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    UniqueFunction<void()> c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, MoveAssignmentDestroysPreviousTarget) {
+    auto counter = std::make_shared<int>(0);
+    struct Bump {
+        std::shared_ptr<int> n;
+        ~Bump() {
+            if (n) ++*n;
+        }
+        Bump(std::shared_ptr<int> p) : n{std::move(p)} {}
+        Bump(Bump&&) = default;
+        void operator()() const {}
+    };
+    UniqueFunction<void()> f{Bump{counter}};
+    f = UniqueFunction<void()>{[] {}};
+    // The Bump target (and any moved-from shells) must all be destroyed, and
+    // exactly one of them still held the shared_ptr.
+    EXPECT_EQ(*counter, 1);
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(UniqueFunction, ResetDestroysTarget) {
+    auto token = std::make_shared<int>(1);
+    UniqueFunction<void()> f{[token] {}};
+    EXPECT_EQ(token.use_count(), 2);
+    f.reset();
+    EXPECT_EQ(token.use_count(), 1);
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, HeapTargetDestroyedExactlyOnce) {
+    auto token = std::make_shared<int>(1);
+    std::array<std::uint64_t, 8> pad{};  // force the heap path
+    {
+        UniqueFunction<void()> f{[token, pad] { (void)pad; }};
+        EXPECT_FALSE(f.is_inline());
+        EXPECT_EQ(token.use_count(), 2);
+        UniqueFunction<void()> g{std::move(f)};
+        EXPECT_EQ(token.use_count(), 2);  // moved pointer, not copied target
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(UniqueFunction, ExceptionsPropagate) {
+    UniqueFunction<void()> f{[] { throw std::runtime_error{"boom"}; }};
+    EXPECT_THROW(f(), std::runtime_error);
+}
+
+TEST(UniqueFunction, SelfMoveAssignmentIsSafe) {
+    int hits = 0;
+    UniqueFunction<void()> f{[&hits] { ++hits; }};
+    auto& self = f;
+    f = std::move(self);
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, ReferenceCapturesSeeLiveState) {
+    std::string log;
+    UniqueFunction<void(const std::string&)> append{
+        [&log](const std::string& s) { log += s; }};
+    append("a");
+    append("b");
+    EXPECT_EQ(log, "ab");
+}
+
+}  // namespace
+}  // namespace bb

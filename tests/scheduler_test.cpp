@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -111,6 +112,185 @@ TEST(Scheduler, RunUntilAdvancesClockEvenWithoutEvents) {
     Scheduler s;
     s.run_until(seconds_i(5));
     EXPECT_EQ(s.now(), seconds_i(5));
+}
+
+TEST(Scheduler, CancelAfterFireIsNoOp) {
+    Scheduler s;
+    int fired = 0;
+    const EventId id = s.schedule_at(milliseconds(1), [&] { ++fired; });
+    s.run();
+    EXPECT_EQ(fired, 1);
+    s.cancel(id);  // already fired: harmless
+    // The arena slot was recycled; a stale cancel must not kill its new owner.
+    s.schedule_at(milliseconds(2), [&] { ++fired; });
+    s.cancel(id);
+    s.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, DoubleCancelCannotKillSlotReuser) {
+    Scheduler s;
+    int fired = 0;
+    const EventId a = s.schedule_at(milliseconds(10), [&] { ++fired; });
+    s.cancel(a);
+    const EventId b = s.schedule_at(milliseconds(10), [&] { ++fired; });
+    s.cancel(a);  // stale generation: must not touch b
+    s.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(Scheduler, TiesWithCancellationsPreserveInsertionOrder) {
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(milliseconds(5), [&] { order.push_back(1); });
+    const EventId skip = s.schedule_at(milliseconds(5), [&] { order.push_back(2); });
+    s.schedule_at(milliseconds(5), [&] { order.push_back(3); });
+    s.cancel(skip);
+    s.schedule_at(milliseconds(5), [&] { order.push_back(4); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(Scheduler, PendingAndLiveEventAccounting) {
+    Scheduler s;
+    const EventId a = s.schedule_at(milliseconds(1), [] {});
+    s.schedule_at(milliseconds(2), [] {});
+    s.schedule_at(milliseconds(3), [] {});
+    EXPECT_EQ(s.live_events(), 3u);
+    EXPECT_GE(s.pending_events(), s.live_events());
+    s.cancel(a);
+    EXPECT_EQ(s.live_events(), 2u);
+    EXPECT_EQ(s.cancelled_events(), 1u);
+    s.run();
+    EXPECT_EQ(s.live_events(), 0u);
+    EXPECT_EQ(s.pending_events(), 0u);
+    EXPECT_EQ(s.executed_events(), 2u);
+}
+
+TEST(Scheduler, CancelChurnKeepsMemoryBounded) {
+    // The TCP RTO pattern at scale: schedule a far-future timer, cancel it,
+    // repeat.  Lazy deletion with compaction must keep both the ready queue
+    // and the arena bounded by a small constant, not the cycle count — the
+    // old unordered_set bookkeeping grew when ids were cancelled faster than
+    // pops drained them.
+    Scheduler s;
+    for (int i = 0; i < 100'000; ++i) {
+        const EventId id = s.schedule_after(seconds_i(3600), [] {});
+        s.cancel(id);
+    }
+    EXPECT_LE(s.pending_events(), 256u);
+    EXPECT_LE(s.arena_slots(), 256u);
+    EXPECT_EQ(s.live_events(), 0u);
+    s.run_until(seconds_i(7200));
+    EXPECT_EQ(s.executed_events(), 0u);
+    EXPECT_EQ(s.cancelled_events(), 100'000u);
+}
+
+TEST(Scheduler, MixedChurnStillFiresSurvivors) {
+    Scheduler s;
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        const EventId id = s.schedule_after(milliseconds(1 + i % 97), [&] { ++fired; });
+        if (i % 4 != 0) s.cancel(id);
+    }
+    s.run();
+    EXPECT_EQ(fired, 2500);
+    EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, MoveOnlyEventCallables) {
+    Scheduler s;
+    auto payload = std::make_unique<int>(99);
+    int seen = 0;
+    s.schedule_at(milliseconds(1), [p = std::move(payload), &seen] { seen = *p; });
+    s.run();
+    EXPECT_EQ(seen, 99);
+}
+
+TEST(Scheduler, LargeCaptureEventsStillRun) {
+    Scheduler s;
+    struct Big {
+        std::uint64_t words[16];
+    };
+    Big big{};
+    big.words[15] = 7;
+    std::uint64_t seen = 0;
+    s.schedule_at(milliseconds(1), [big, &seen] { seen = big.words[15]; });
+    s.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(Scheduler, CancelFromWithinEarlierEventAtSameTime) {
+    Scheduler s;
+    int fired = 0;
+    EventId later{};
+    s.schedule_at(milliseconds(5), [&] { s.cancel(later); });
+    later = s.schedule_at(milliseconds(5), [&] { ++fired; });
+    s.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, DeliverAfterDeliversParkedPacket) {
+    Scheduler s;
+    CountingSink sink;
+    Packet p;
+    p.id = 77;
+    p.size_bytes = 1500;
+    p.sent_at = milliseconds(1);
+    s.deliver_after(milliseconds(3), p, sink);
+    s.run();
+    EXPECT_EQ(sink.packets(), 1u);
+    EXPECT_EQ(sink.last().id, 77u);
+    EXPECT_EQ(sink.last().size_bytes, 1500);
+    EXPECT_EQ(s.now(), milliseconds(3));
+}
+
+TEST(Scheduler, PacketPoolRecyclesSlotsAcrossDeliveries) {
+    Scheduler s;
+    CountingSink sink;
+    for (int i = 0; i < 10'000; ++i) {
+        Packet p;
+        p.id = static_cast<std::uint64_t>(i);
+        s.deliver_after(milliseconds(1), p, sink);
+        s.run();
+    }
+    EXPECT_EQ(sink.packets(), 10'000u);
+    // One delivery in flight at a time: the pool never needs more than a
+    // handful of slots no matter how many packets pass through.
+    EXPECT_LE(s.packet_pool().capacity(), 4u);
+    EXPECT_EQ(s.packet_pool().in_use(), 0u);
+}
+
+TEST(Scheduler, ReserveDoesNotDisturbScheduling) {
+    Scheduler s;
+    s.reserve(1024);
+    std::vector<int> order;
+    s.schedule_at(milliseconds(2), [&] { order.push_back(2); });
+    s.schedule_at(milliseconds(1), [&] { order.push_back(1); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(s.arena_slots(), 2u);
+}
+
+TEST(PacketPool, PutTakeRoundTripsAndReuses) {
+    PacketPool pool;
+    Packet a;
+    a.id = 1;
+    const PacketPool::Handle ha = pool.put(a);
+    Packet b;
+    b.id = 2;
+    const PacketPool::Handle hb = pool.put(b);
+    EXPECT_EQ(pool.in_use(), 2u);
+    EXPECT_EQ(pool.take(ha).id, 1u);
+    EXPECT_EQ(pool.take(hb).id, 2u);
+    EXPECT_EQ(pool.in_use(), 0u);
+    Packet c;
+    c.id = 3;
+    const PacketPool::Handle hc = pool.put(c);
+    EXPECT_LT(hc, 2u);  // recycled one of the two existing slots
+    EXPECT_EQ(pool.take(hc).id, 3u);
+    EXPECT_EQ(pool.capacity(), 2u);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace bb {
@@ -89,6 +91,21 @@ TEST(ThreadPool, ForEachIndexRethrowsLowestIndexException) {
     } catch (const std::runtime_error& e) {
         EXPECT_STREQ(e.what(), "boom-3");
     }
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+    ThreadPool pool{2};
+    auto payload = std::make_unique<int>(13);
+    auto fut = pool.submit([p = std::move(payload)] { return *p + 1; });
+    EXPECT_EQ(fut.get(), 14);
+}
+
+TEST(ThreadPool, SubmitReturnsMoveOnlyResults) {
+    ThreadPool pool{2};
+    auto fut = pool.submit([] { return std::make_unique<int>(21); });
+    auto result = fut.get();
+    ASSERT_TRUE(result);
+    EXPECT_EQ(*result, 21);
 }
 
 TEST(ThreadPool, ForEachIndexZeroIsANoOp) {
