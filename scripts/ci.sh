@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Continuous-integration driver: tier-1 verification plus sanitizer builds.
+# Continuous-integration driver: tier-1 verification, static analysis,
+# contract builds and sanitizer builds.
 #
-#   scripts/ci.sh                 # tier-1 + ASan full suite + TSan `-L tsan`
+#   scripts/ci.sh                 # tier-1 + analysis + ASan suite + TSan `-L tsan`
+#   BB_CI_SKIP_ANALYSIS=1 scripts/ci.sh   # skip lint/tidy/UBSan/contracts
 #   BB_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the AddressSanitizer stage
 #   BB_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the ThreadSanitizer stage
 #   BB_CI_SKIP_OBS=1 scripts/ci.sh    # skip the observability stage
 #   BB_SKIP_BENCH=1 scripts/ci.sh     # skip the perf-regression stage
 #
-# Each stage uses its own build directory (build, build-asan, build-tsan) so
-# sanitizer flags never leak into the primary build. BB_SANITIZE is the
-# top-level CMake cache option (thread|address).
+# Each stage uses its own build directory (build, build-ubsan, build-audit,
+# build-asan, build-tsan) so sanitizer/contract flags never leak into the
+# primary build. BB_SANITIZE is the top-level CMake cache option
+# (thread|address|undefined); BB_AUDIT=ON turns on deep invariant walkers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +39,25 @@ fi
 if [[ "${BB_SKIP_BENCH:-0}" != 1 ]]; then
   echo "==> bench: perf-regression smoke (BB_BENCH_FAST=1 scripts/bench.sh --compare)"
   BB_BENCH_FAST=1 scripts/bench.sh --compare
+fi
+
+if [[ "${BB_CI_SKIP_ANALYSIS:-0}" != 1 ]]; then
+  echo "==> analysis: project lint (scripts/lint_bb.py)"
+  python3 scripts/lint_bb.py --self-test
+  python3 scripts/lint_bb.py
+
+  echo "==> analysis: clang-tidy (skips itself if clang-tidy is absent)"
+  scripts/tidy.sh build
+
+  echo "==> analysis: UBSan + warnings-as-errors build + full ctest"
+  cmake -B build-ubsan -S . -DBB_SANITIZE=undefined -DBB_WERROR=ON >/dev/null
+  cmake --build build-ubsan -j "$JOBS"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+
+  echo "==> analysis: deep-contract build (BB_AUDIT=ON) + full ctest"
+  cmake -B build-audit -S . -DBB_AUDIT=ON >/dev/null
+  cmake --build build-audit -j "$JOBS"
+  ctest --test-dir build-audit --output-on-failure -j "$JOBS"
 fi
 
 if [[ "${BB_CI_SKIP_ASAN:-0}" != 1 ]]; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/contract.h"
 #include "util/stats.h"
 
 namespace bb::core {
@@ -28,6 +29,8 @@ BootstrapInterval make_interval(double point, std::vector<double>& samples,
 
 BootstrapInterval bootstrap_mean(const std::vector<double>& values, std::size_t replicates,
                                  double confidence, Rng& rng) {
+    BB_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                 "bootstrap: confidence must be in (0, 1)");
     BootstrapInterval iv;
     if (values.empty()) return iv;
 

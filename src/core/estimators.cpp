@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/contract.h"
+
 namespace bb::core {
 
 FrequencyEstimate estimate_frequency(const StateCounts& counts, const EstimatorOptions& opts) {
@@ -14,6 +16,7 @@ FrequencyEstimate estimate_frequency(const StateCounts& counts, const EstimatorO
         }
         total += counts.extended_total();
     }
+    BB_CHECK_MSG(ones <= total, "estimator: congested-slot tally exceeds experiment count");
     est.samples = total;
     est.value = total > 0 ? static_cast<double>(ones) / static_cast<double>(total) : 0.0;
     return est;
@@ -40,6 +43,10 @@ PairCounts pair_counts(const StateCounts& counts, const EstimatorOptions& opts) 
             if (d0 != d1) pc.S += counts.extended[code];
         }
     }
+    // S counts the {01,10} transitions, a subset of R's {01,10,11}; R < S
+    // means the tallies were corrupted and D̂ = 2(R/S−1)+1 would come out
+    // plausible but wrong — the paper's worst failure mode.
+    BB_CHECK_MSG(pc.R >= pc.S, "estimator: R/S tallies inconsistent (S ⊄ R)");
     return pc;
 }
 
@@ -52,6 +59,7 @@ DurationEstimate estimate_duration_basic(const StateCounts& counts,
     est.R = pc.R;
     est.S = pc.S;
     if (pc.S == 0) return est;  // no transitions observed: undefined (reported 0)
+    BB_DCHECK_MSG(pc.S > 0, "estimator: R/S evaluated with S == 0");
     est.slots = 2.0 * (static_cast<double>(pc.R) / static_cast<double>(pc.S) - 1.0) + 1.0;
     est.valid = true;
     return est;
@@ -65,6 +73,8 @@ DurationEstimate estimate_duration_improved(const StateCounts& counts,
     est.S = pc.S;
     const std::uint64_t U = counts.U();
     const std::uint64_t V = counts.V();
+    BB_DCHECK_MSG(U + V <= counts.extended_total(),
+                  "estimator: U/V tallies exceed extended experiment count");
     if (pc.S == 0 || U == 0) return est;
     const double r_hat = static_cast<double>(U) / static_cast<double>(V == 0 ? 1 : V);
     est.r_hat = r_hat;

@@ -1,10 +1,10 @@
 #include "core/marking.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "util/contract.h"
 
 namespace bb::core {
 
@@ -13,15 +13,18 @@ std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& pr
     marks.reserve(probes.size());
     if (probes.empty()) return marks;
 
-    assert(std::is_sorted(probes.begin(), probes.end(),
-                          [](const ProbeOutcome& a, const ProbeOutcome& b) {
-                              return a.send_time < b.send_time;
-                          }));
+    BB_DCHECK_MSG(std::is_sorted(probes.begin(), probes.end(),
+                                 [](const ProbeOutcome& a, const ProbeOutcome& b) {
+                                     return a.send_time < b.send_time;
+                                 }),
+                  "marking: probe outcomes must arrive in send-time order");
 
     // Pass 1: base (propagation) delay and OWD_max estimates.
     bool have_base = false;
     TimeNs base{TimeNs::zero()};
     for (const auto& pr : probes) {
+        BB_DCHECK_MSG(pr.packets_lost <= pr.packets_sent,
+                      "marking: probe reports more losses than packets sent");
         if (!pr.any_received) continue;
         if (!have_base || pr.max_owd < base) {
             base = pr.max_owd;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/contract.h"
+
 namespace bb::core {
 
 namespace {
@@ -101,6 +103,11 @@ void StreamingExperimentScorer::step(bool congested) {
     // then (only if started and improved) the basic-vs-extended decision.
     if (rng_.bernoulli(cfg_.p)) {
         const bool extended = cfg_.improved && rng_.bernoulli(cfg_.extended_fraction);
+        // At most one experiment starts per slot and the longest spans three
+        // slots, so the fixed 3-entry buffer can never overflow — unless the
+        // completion logic below regresses.
+        BB_CHECK_MSG(static_cast<std::size_t>(pending_count_) < pending_.size(),
+                     "streaming scorer: pending-experiment buffer overflow");
         pending_[static_cast<std::size_t>(pending_count_++)] = Pending{
             slot_, extended ? ExperimentKind::extended : ExperimentKind::basic, 0, 0};
         ++started_;
@@ -125,6 +132,8 @@ void StreamingExperimentScorer::step(bool congested) {
     }
     pending_count_ = kept;
     ++slot_;
+    BB_DCHECK_MSG(completed_ + static_cast<std::uint64_t>(pending_count_) == started_,
+                  "streaming scorer: started/completed/pending accounting drifted");
 }
 
 double expected_probe_slot_fraction(const ProbeProcessConfig& cfg) noexcept {

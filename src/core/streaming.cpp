@@ -1,6 +1,7 @@
 #include "core/streaming.h"
 
 #include "obs/metrics.h"
+#include "util/contract.h"
 
 namespace bb::core {
 
@@ -16,6 +17,7 @@ void OnlineFrequency::consume(const ExperimentResult& r) {
 
 FrequencyEstimate OnlineFrequency::finalize() const {
     FrequencyEstimate est;
+    BB_CHECK_MSG(ones_ <= samples_, "streaming: congested tally exceeds sample count");
     est.samples = samples_;
     est.value = samples_ > 0
                     ? static_cast<double>(ones_) / static_cast<double>(samples_)
@@ -43,6 +45,7 @@ void OnlineDuration::consume(const ExperimentResult& r) {
 
 DurationEstimate OnlineDuration::finalize_basic() const {
     DurationEstimate est;
+    BB_CHECK_MSG(R_ >= S_, "streaming: R/S tallies inconsistent (S ⊄ R)");
     est.R = R_;
     est.S = S_;
     if (S_ == 0) return est;
@@ -53,6 +56,7 @@ DurationEstimate OnlineDuration::finalize_basic() const {
 
 DurationEstimate OnlineDuration::finalize_improved() const {
     DurationEstimate est;
+    BB_CHECK_MSG(R_ >= S_, "streaming: R/S tallies inconsistent (S ⊄ R)");
     est.R = R_;
     est.S = S_;
     if (S_ == 0 || U_ == 0) return est;
@@ -65,7 +69,8 @@ DurationEstimate OnlineDuration::finalize_improved() const {
 }
 
 StreamingAnalyzer::StreamingAnalyzer(EstimatorOptions opts)
-    : frequency_{opts},
+    : opts_{opts},
+      frequency_{opts},
       duration_{opts},
       reports_ctr_{&obs::counter("core.reports_scored")} {}
 
@@ -101,7 +106,31 @@ StreamingAnalyzer::Result StreamingAnalyzer::finalize() const {
     res.duration_improved = duration_.finalize_improved();
     res.validation = validation_.finalize();
     res.reports = reports_;
+    const StateCounts& c = validation_.counts();
+    BB_DCHECK_MSG(c.basic_total() + c.extended_total() == reports_,
+                  "streaming: per-state tallies do not sum to the report count");
+    BB_AUDIT(check_against_batch(res));
     return res;
+}
+
+void StreamingAnalyzer::check_against_batch(const Result& res) const {
+    const StateCounts& c = validation_.counts();
+    const FrequencyEstimate bf = estimate_frequency(c, opts_);
+    BB_CHECK_MSG(bf.samples == res.frequency.samples,
+                 "streaming audit: frequency sample count diverged from batch");
+    BB_CHECK_MSG(bf.value == res.frequency.value,
+                 "streaming audit: F̂ diverged from batch (bit-identity broken)");
+    const DurationEstimate basic = estimate_duration_basic(c, opts_);
+    BB_CHECK_MSG(basic.R == res.duration_basic.R && basic.S == res.duration_basic.S,
+                 "streaming audit: R/S tallies diverged from batch");
+    BB_CHECK_MSG(basic.valid == res.duration_basic.valid &&
+                     basic.slots == res.duration_basic.slots,
+                 "streaming audit: basic D̂ diverged from batch (bit-identity broken)");
+    const DurationEstimate improved = estimate_duration_improved(c, opts_);
+    BB_CHECK_MSG(improved.valid == res.duration_improved.valid &&
+                     improved.slots == res.duration_improved.slots &&
+                     improved.r_hat == res.duration_improved.r_hat,
+                 "streaming audit: improved D̂ diverged from batch (bit-identity broken)");
 }
 
 }  // namespace bb::core

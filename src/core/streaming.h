@@ -100,6 +100,12 @@ public:
 
     [[nodiscard]] Result finalize() const;
 
+    // BB_AUDIT walker: recompute every estimate from the batch functions over
+    // the accumulated StateCounts and require bit-identical agreement with
+    // the online tallies (the PR-2 design guarantee, now enforced at runtime
+    // in audit builds).  Aborts via BB_CHECK on divergence.
+    void check_against_batch(const Result& res) const;
+
     [[nodiscard]] const OnlineFrequency& frequency() const noexcept { return frequency_; }
     [[nodiscard]] const OnlineDuration& duration() const noexcept { return duration_; }
     [[nodiscard]] const OnlineValidation& validation() const noexcept { return validation_; }
@@ -107,6 +113,7 @@ public:
     [[nodiscard]] std::uint64_t reports() const noexcept { return reports_; }
 
 private:
+    EstimatorOptions opts_;
     OnlineFrequency frequency_;
     OnlineDuration duration_;
     OnlineValidation validation_;

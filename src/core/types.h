@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/contract.h"
 #include "util/time.h"
 
 namespace bb::core {
@@ -52,6 +53,11 @@ struct StateCounts {
     std::array<std::uint64_t, 8> extended{};  // indexed by 3-bit code
 
     void add(const ExperimentResult& r) noexcept {
+        // The masks below make an out-of-range code harmless locally, but it
+        // would still mean a corrupted report upstream — tally it loudly in
+        // contract builds rather than folding it into the wrong bucket.
+        BB_DCHECK_MSG(r.code <= (r.kind == ExperimentKind::basic ? 0x3 : 0x7),
+                      "state counts: report code out of range for its kind");
         if (r.kind == ExperimentKind::basic) {
             ++basic[r.code & 0x3];
         } else {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contract.h"
+
 namespace bb::core {
 
 namespace {
@@ -42,7 +44,11 @@ ValidationReport validate(const StateCounts& counts) {
         rep.violations = counts.extended[0b010] + counts.extended[0b101];
         rep.violation_fraction =
             static_cast<double>(rep.violations) / static_cast<double>(me);
+        BB_CHECK_MSG(rep.violations <= me,
+                     "validation: violation tally exceeds extended experiment count");
     }
+    BB_DCHECK_MSG(rep.pair_asymmetry >= 0.0 && rep.pair_asymmetry <= 1.0,
+                  "validation: #01/#10 asymmetry outside [0, 1]");
     return rep;
 }
 

@@ -1,8 +1,8 @@
 #include "measure/episodes.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "util/contract.h"
 #include "util/stats.h"
 
 namespace bb::measure {
@@ -10,7 +10,8 @@ namespace bb::measure {
 std::vector<LossEpisode> extract_episodes(const std::vector<TimeNs>& drop_times, TimeNs gap) {
     std::vector<LossEpisode> out;
     if (drop_times.empty()) return out;
-    assert(std::is_sorted(drop_times.begin(), drop_times.end()));
+    BB_DCHECK_MSG(std::is_sorted(drop_times.begin(), drop_times.end()),
+                  "episode extraction: drop log must be time-ordered");
 
     LossEpisode cur{drop_times.front(), drop_times.front(), 1};
     for (std::size_t i = 1; i < drop_times.size(); ++i) {
@@ -37,10 +38,11 @@ std::vector<LossEpisode> extract_episodes_delay_based(
     std::vector<LossEpisode> clusters = extract_episodes(drop_times, gap);
     if (clusters.size() < 2) return clusters;
 
-    assert(std::is_sorted(departures.begin(), departures.end(),
-                          [](const DelayedDeparture& a, const DelayedDeparture& b) {
-                              return a.at < b.at;
-                          }));
+    BB_DCHECK_MSG(std::is_sorted(departures.begin(), departures.end(),
+                                 [](const DelayedDeparture& a, const DelayedDeparture& b) {
+                                     return a.at < b.at;
+                                 }),
+                  "episode extraction: departures must be time-ordered");
 
     const auto queue_stayed_full = [&](TimeNs from, TimeNs to) {
         auto it = std::lower_bound(departures.begin(), departures.end(), from,
@@ -123,6 +125,9 @@ void EpisodeAccumulator::add_drop(TimeNs at) {
         open_ = true;
         return;
     }
+    // The bounded-memory fold only works on a time-ordered drop stream; an
+    // out-of-order drop would silently shrink the open episode.
+    BB_DCHECK_MSG(at >= current_.end, "episode accumulator: drops must arrive in time order");
     if (at - current_.end <= cfg_.gap) {
         current_.end = at;
         ++current_.drops;

@@ -6,6 +6,7 @@
 #include "core/streaming.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/contract.h"
 
 namespace bb::probes {
 
@@ -127,6 +128,11 @@ BadabingResult BadabingTool::analyze(const core::MarkingConfig& marking,
     emit_reports(marking, analyzer);
 
     const core::StreamingAnalyzer::Result summary = analyzer.finalize();
+    // Every designed experiment must be scored exactly once: the §5.2.2
+    // estimators divide by the experiment count, so a silently dropped or
+    // double-scored report skews ŷ tallies without any other symptom.
+    BB_CHECK_MSG(summary.reports == design_.experiments.size(),
+                 "badabing: scored report count != designed experiment count");
     res.counts = analyzer.counts();
     res.frequency = summary.frequency;
     res.duration_basic = summary.duration_basic;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/trace.h"
+#include "util/contract.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -87,6 +88,12 @@ std::vector<ReplicaResult> ReplicaRunner::run(const ReplicaPlan& plan) const {
     pool.for_each_index(cfg_.replicas, [&plan, &seeds, &results](std::size_t i) {
         results[i] = run_one(plan, i, seeds[i]);
     });
+    // Bit-identical aggregates at any thread count rest on every worker
+    // having written its own slot with its own positional seed.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        BB_DCHECK_MSG(results[i].index == i && results[i].seed == seeds[i],
+                      "replica runner: replica result landed in the wrong slot");
+    }
     return results;
 }
 

@@ -10,11 +10,11 @@
 #ifndef BB_SIM_PACKET_POOL_H
 #define BB_SIM_PACKET_POOL_H
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "sim/packet.h"
+#include "util/contract.h"
 
 namespace bb::sim {
 
@@ -38,9 +38,12 @@ public:
     }
 
     // Retrieve the parked packet and recycle its slot.  Each handle must be
-    // taken exactly once.
+    // taken exactly once.  A wild or double-taken handle would hand a stale
+    // packet to a sink and silently corrupt loss accounting, so the bounds
+    // check stays on in every build (one predictable branch per delivery).
     [[nodiscard]] Packet take(Handle h) noexcept {
-        assert(h < slots_.size());
+        BB_CHECK_MSG(h < slots_.size(), "packet pool: handle out of bounds");
+        BB_DCHECK_MSG(in_use() > 0, "packet pool: take() with no parked packets");
         free_.push_back(h);
         return slots_[h];
     }
@@ -52,6 +55,19 @@ public:
 
     [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
     [[nodiscard]] std::size_t in_use() const noexcept { return slots_.size() - free_.size(); }
+
+    // Deep walker (BB_AUDIT tier): the free list must be in bounds and
+    // duplicate-free — a duplicated handle is exactly the double-take bug the
+    // generation-less 32-bit handles cannot catch locally.
+    void check_invariants() const {
+        BB_CHECK_MSG(free_.size() <= slots_.size(), "packet pool: more free handles than slots");
+        std::vector<std::uint8_t> seen(slots_.size(), 0);
+        for (const Handle h : free_) {
+            BB_CHECK_MSG(h < slots_.size(), "packet pool: free handle out of bounds");
+            BB_CHECK_MSG(seen[h] == 0, "packet pool: handle freed twice (double take)");
+            seen[h] = 1;
+        }
+    }
 
 private:
     std::vector<Packet> slots_;

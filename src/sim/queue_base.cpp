@@ -53,7 +53,7 @@ void QueueBase::accept(const Packet& pkt) {
         drops_ctr().inc();
         if (obs::enabled()) refresh_loss_rate();
         const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
-        for (const auto& h : drop_hooks_) h(ev);
+        for (auto& h : drop_hooks_) h(ev);
         return;
     }
     fifo_.push_back(pkt);
@@ -61,7 +61,7 @@ void QueueBase::accept(const Packet& pkt) {
     enqueues_ctr().inc();
     if ((arrivals_ & 1023U) == 0 && obs::enabled()) refresh_loss_rate();
     const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
-    for (const auto& h : enqueue_hooks_) h(ev);
+    for (auto& h : enqueue_hooks_) h(ev);
     if (!transmitting_) start_transmission();
 }
 
@@ -90,7 +90,7 @@ void QueueBase::finish_transmission(Packet pkt) {
     departed_bytes_ += pkt.size_bytes;
     in_flight_bytes_ = 0;
     const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
-    for (const auto& h : dequeue_hooks_) h(ev);
+    for (auto& h : dequeue_hooks_) h(ev);
     // Propagation happens in parallel with the next transmission.
     sched_->deliver_after(cfg_.prop_delay, pkt, *downstream_);
     start_transmission();

@@ -6,11 +6,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "sim/packet.h"
 #include "sim/scheduler.h"
+#include "util/func.h"
 #include "util/time.h"
 
 namespace bb::sim {
@@ -54,7 +54,10 @@ public:
     [[nodiscard]] std::int64_t departed_bytes() const noexcept { return departed_bytes_; }
 
     // Trace hooks (ground-truth instrumentation; the simulated DAG cards).
-    using Hook = std::function<void(const QueueEvent&)>;
+    // Move-only UniqueFunction keeps std::function out of the sim hot path
+    // (lint rule no-std-function): small captures stay inline and firing a
+    // hook is one indirect call, no virtual dispatch.
+    using Hook = UniqueFunction<void(const QueueEvent&)>;
     void on_enqueue(Hook h) { enqueue_hooks_.push_back(std::move(h)); }
     void on_drop(Hook h) { drop_hooks_.push_back(std::move(h)); }
     void on_dequeue(Hook h) { dequeue_hooks_.push_back(std::move(h)); }

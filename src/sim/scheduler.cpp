@@ -1,19 +1,69 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "util/contract.h"
 
 namespace bb::sim {
+
+// --- invariants ---------------------------------------------------------
+//
+// One pass over the heap plus one walk of the free list; `mark` tags each
+// arena slot as live-ticketed (bit 0) or free-listed (bit 1) so the two sets
+// are provably disjoint and jointly exhaustive.
+
+void Scheduler::check_invariants() const {
+    std::vector<std::uint8_t> mark(arena_.size(), 0);
+    std::size_t live_tickets = 0;
+    std::size_t stale_tickets = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const Ticket& t = heap_[i];
+        if (i > 0) {
+            BB_CHECK_MSG(!earlier(t, heap_[(i - 1) / 4]), "scheduler: 4-ary heap order violated");
+        }
+        BB_CHECK_MSG(t.slot < arena_.size(), "scheduler: ticket references slot out of bounds");
+        BB_CHECK_MSG(t.gen <= arena_[t.slot].gen,
+                     "scheduler: ticket generation ahead of its arena slot");
+        if (!ticket_live(t)) {
+            ++stale_tickets;
+            continue;
+        }
+        ++live_tickets;
+        BB_CHECK_MSG((mark[t.slot] & 1U) == 0, "scheduler: two live tickets share an arena slot");
+        mark[t.slot] |= 1U;
+        BB_CHECK_MSG(static_cast<bool>(arena_[t.slot].fn),
+                     "scheduler: live ticket references an empty arena slot");
+        BB_CHECK_MSG(t.at >= now_, "scheduler: live ticket scheduled in the past");
+    }
+    BB_CHECK_MSG(live_tickets == live_, "scheduler: live-event accounting drifted");
+    BB_CHECK_MSG(stale_tickets == stale_, "scheduler: stale-ticket accounting drifted");
+
+    std::size_t free_len = 0;
+    for (std::uint32_t s = free_head_; s != kNoFree; s = arena_[s].next_free) {
+        BB_CHECK_MSG(s < arena_.size(), "scheduler: free list walked out of bounds");
+        BB_CHECK_MSG((mark[s] & 2U) == 0, "scheduler: free list is cyclic");
+        BB_CHECK_MSG((mark[s] & 1U) == 0, "scheduler: free slot still has a live ticket");
+        BB_CHECK_MSG(!arena_[s].fn, "scheduler: free slot holds an undestroyed callable");
+        mark[s] |= 2U;
+        ++free_len;
+    }
+    BB_CHECK_MSG(free_len + live_ == arena_.size(),
+                 "scheduler: arena slots leaked (neither free nor live)");
+    packets_.check_invariants();
+}
 
 // --- arena --------------------------------------------------------------
 
 void Scheduler::release_slot(std::uint32_t s) noexcept {
     Slot& slot = arena_[s];
     slot.fn.reset();
+    // A generation wrap would resurrect stale ids; 2^32 recycles of one slot
+    // is out of reach for any real run, but the id guarantee rests on it.
+    BB_DCHECK_MSG(slot.gen != 0xFFFF'FFFFu, "scheduler: slot generation counter wrapped");
     ++slot.gen;  // invalidates every outstanding id/ticket for this slot
     slot.next_free = free_head_;
     free_head_ = s;
@@ -68,7 +118,9 @@ void Scheduler::compact_if_mostly_stale() {
     for (std::size_t i = kept / 4 + 1; i-- > 0;) {
         if (i < kept) sift_down(i);
     }
+    BB_DCHECK_MSG(kept == live_, "scheduler: compaction kept a stale ticket (or dropped a live one)");
     stale_ = 0;
+    BB_AUDIT(check_invariants());
 }
 
 // --- scheduling ---------------------------------------------------------
@@ -100,11 +152,13 @@ void Scheduler::cancel(EventId id) noexcept {
     const auto s = static_cast<std::uint32_t>(id & 0xFFFF'FFFFu);
     const auto gen = static_cast<std::uint32_t>(id >> 32);
     if (s >= arena_.size() || arena_[s].gen != gen) return;  // fired/cancelled/unknown
+    BB_DCHECK_MSG(live_ > 0, "scheduler: cancel with no live events");
     release_slot(s);
     --live_;
     ++cancelled_;
     ++stale_;
     compact_if_mostly_stale();
+    BB_AUDIT(check_invariants());
 }
 
 void Scheduler::reserve(std::size_t events) {
@@ -116,17 +170,19 @@ void Scheduler::reserve(std::size_t events) {
 void Scheduler::run_until(TimeNs t_end) {
     static obs::Counter& dispatched = obs::counter("sim.scheduler.events_dispatched");
     static obs::Gauge& depth = obs::gauge("sim.scheduler.queue_depth");
+    BB_AUDIT(check_invariants());
     std::uint64_t ran = 0;
     while (!heap_.empty()) {
         const Ticket top = heap_.front();
         if (!ticket_live(top)) {  // cancelled: discard without touching the clock
             heap_drop_top();
+            BB_DCHECK_MSG(stale_ > 0, "scheduler: stale-ticket accounting underflow");
             --stale_;
             continue;
         }
         if (top.at > t_end) break;
         heap_drop_top();
-        assert(top.at >= now_);
+        BB_DCHECK_MSG(top.at >= now_, "scheduler: simulated time would run backwards");
         now_ = top.at;
         Event fn = std::move(arena_[top.slot].fn);
         release_slot(top.slot);
@@ -143,6 +199,7 @@ void Scheduler::run_until(TimeNs t_end) {
         depth.set(static_cast<double>(heap_.size()));
     }
     if (t_end != TimeNs::max() && t_end > now_) now_ = t_end;
+    BB_AUDIT(check_invariants());
 }
 
 }  // namespace bb::sim

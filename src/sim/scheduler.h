@@ -99,7 +99,20 @@ public:
 
     [[nodiscard]] PacketPool& packet_pool() noexcept { return packets_; }
 
+    // Deep invariant walker (BB_AUDIT tier, DESIGN.md §10): heap order,
+    // ticket/arena cross-referencing, free-list acyclicity and disjointness,
+    // generation monotonicity, live/stale accounting.  O(arena + heap); a
+    // violation aborts via BB_CHECK in any build.  Called automatically at
+    // run_until() boundaries in BB_AUDIT=ON builds; cheap enough for tests
+    // to call directly after every mutation.
+    void check_invariants() const;
+
 private:
+#ifdef BB_TESTING
+    // Lets contract_test corrupt private state to prove check_invariants()
+    // catches real damage, without a public mutation API.
+    friend struct SchedulerTestAccess;
+#endif
     static constexpr std::uint32_t kNoFree = 0xFFFF'FFFFu;
 
     struct Slot {
@@ -115,6 +128,11 @@ private:
         std::uint32_t slot;
         std::uint32_t gen;
     };
+    // The heap sifts move tickets with plain assignment and the perf model
+    // assumes a 24-byte copy; a non-trivial or padded Ticket would silently
+    // break both.
+    static_assert(std::is_trivially_copyable_v<Ticket>);
+    static_assert(sizeof(Ticket) == 24);
 
     EventId schedule_event(TimeNs at, Event ev);
     void check_future(TimeNs at) const;  // throws std::invalid_argument on past

@@ -1,0 +1,94 @@
+// Runtime contracts: the correctness backstop for the deliberately unsafe
+// hot-path machinery (pooled events, generation-counter handles, SBO
+// type-punning).  Three tiers (DESIGN.md §10):
+//
+//   BB_CHECK(cond)          always on, every build.  For cheap checks whose
+//                           failure would silently corrupt an estimate — a
+//                           wrong-but-plausible number is worse than a crash.
+//   BB_DCHECK(cond)         debug / -DBB_CONTRACTS=ON builds only.  For
+//                           hot-path preconditions too expensive to keep in
+//                           release binaries.
+//   BB_AUDIT(expr)          -DBB_AUDIT=ON builds only.  For O(n) deep
+//                           invariant walkers (heap order, free-list
+//                           acyclicity, streaming-vs-batch cross-checks).
+//
+// A failed contract prints the expression and file:line to stderr and
+// aborts; there is no recovery path, by design — state is suspect.
+//
+// This header must stay dependency-free (no obs, no util) so every layer,
+// including the ones obs itself depends on, can assert contracts.
+#ifndef BB_UTIL_CONTRACT_H
+#define BB_UTIL_CONTRACT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+// BB_CONTRACTS_ENABLED gates BB_DCHECK.  Defaults to on in debug builds
+// (!NDEBUG); the CMake option BB_CONTRACTS=ON forces it on in any build type.
+#ifndef BB_CONTRACTS_ENABLED
+#ifdef NDEBUG
+#define BB_CONTRACTS_ENABLED 0
+#else
+#define BB_CONTRACTS_ENABLED 1
+#endif
+#endif
+
+// BB_AUDIT_ENABLED gates the BB_AUDIT walkers.  Off unless the CMake option
+// BB_AUDIT=ON (which also implies BB_CONTRACTS=ON) defines it.
+#ifndef BB_AUDIT_ENABLED
+#define BB_AUDIT_ENABLED 0
+#endif
+
+namespace bb::contract {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr, const char* file, int line,
+                              const char* msg) noexcept {
+    // The one sanctioned direct-stderr write outside src/obs: obs sits above
+    // this layer, and a failing contract must not trust any subsystem.
+    // bb-lint: allow(no-direct-io)
+    std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n", kind, expr, file, line);
+    if (msg != nullptr) {
+        // bb-lint: allow(no-direct-io)
+        std::fprintf(stderr, "  note: %s\n", msg);
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace bb::contract
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BB_CONTRACT_LIKELY(x) __builtin_expect(static_cast<bool>(x), 1)
+#else
+#define BB_CONTRACT_LIKELY(x) static_cast<bool>(x)
+#endif
+
+#define BB_CHECK(cond)                 \
+    (BB_CONTRACT_LIKELY(cond) ? static_cast<void>(0) \
+                              : ::bb::contract::fail("BB_CHECK", #cond, __FILE__, __LINE__, nullptr))
+
+#define BB_CHECK_MSG(cond, msg)        \
+    (BB_CONTRACT_LIKELY(cond) ? static_cast<void>(0) \
+                              : ::bb::contract::fail("BB_CHECK", #cond, __FILE__, __LINE__, (msg)))
+
+// The off-forms still "use" the condition (unevaluated) so variables that
+// exist only to be checked do not trip -Wunused in release builds.
+#if BB_CONTRACTS_ENABLED
+#define BB_DCHECK(cond)                \
+    (BB_CONTRACT_LIKELY(cond) ? static_cast<void>(0) \
+                              : ::bb::contract::fail("BB_DCHECK", #cond, __FILE__, __LINE__, nullptr))
+#define BB_DCHECK_MSG(cond, msg)       \
+    (BB_CONTRACT_LIKELY(cond) ? static_cast<void>(0) \
+                              : ::bb::contract::fail("BB_DCHECK", #cond, __FILE__, __LINE__, (msg)))
+#else
+#define BB_DCHECK(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#define BB_DCHECK_MSG(cond, msg) static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif
+
+#if BB_AUDIT_ENABLED
+#define BB_AUDIT(expr) static_cast<void>(expr)
+#else
+#define BB_AUDIT(expr) static_cast<void>(sizeof((expr), 0))
+#endif
+
+#endif  // BB_UTIL_CONTRACT_H

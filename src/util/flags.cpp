@@ -170,6 +170,9 @@ bool FlagSet::parse(int argc, const char* const* argv) {
     return true;
 }
 
+// Help text is user-facing terminal output by definition, not telemetry, so
+// the direct-I/O ban is waived here.
+// bb-lint: allow-file(no-direct-io)
 void FlagSet::print_usage() const {
     std::printf("%s - %s\n\nflags:\n", program_.c_str(), description_.c_str());
     for (const auto& f : flags_) {

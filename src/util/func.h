@@ -92,6 +92,13 @@ private:
         void* ptr;
         int flag;
     };
+    // The SBO type-puns targets into `buf` (placement new + launder) and
+    // moves trivial targets with memcpy; both are only defined behaviour if
+    // the buffer really is max-aligned and at least as large as every
+    // representation `fits_inline_v` admits.
+    static_assert(sizeof(Storage) >= kInlineBytes);
+    static_assert(alignof(Storage) >= alignof(std::max_align_t));
+    static_assert(sizeof(void*) <= kInlineBytes);
     enum class Op : std::uint8_t { destroy, move, query_inline };
     using Invoke = R (*)(Storage*, Args&&...);
     using Manage = void (*)(Op, Storage*, Storage*);

@@ -177,8 +177,8 @@ TEST(SkipAhead, GapDistributionMatchesPerSlotDesigner) {
     constexpr SlotIndex kMaxGap = 25;
     std::vector<double> pmf_a(kMaxGap + 1, 0.0);
     std::vector<double> pmf_b(kMaxGap + 1, 0.0);
-    for (const auto g : gaps_a) pmf_a[std::min(g, kMaxGap)] += 1.0 / gaps_a.size();
-    for (const auto g : gaps_b) pmf_b[std::min(g, kMaxGap)] += 1.0 / gaps_b.size();
+    for (const auto g : gaps_a) pmf_a[std::min(g, kMaxGap)] += 1.0 / static_cast<double>(gaps_a.size());
+    for (const auto g : gaps_b) pmf_b[std::min(g, kMaxGap)] += 1.0 / static_cast<double>(gaps_b.size());
     for (SlotIndex g = 0; g <= kMaxGap; ++g) {
         EXPECT_NEAR(pmf_a[g], pmf_b[g], 0.01) << "gap " << g;
         // And both match the geometric law P(gap = g) = p (1-p)^(g-1), g >= 1.

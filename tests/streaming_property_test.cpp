@@ -60,7 +60,9 @@ void expect_streaming_equals_batch(const std::vector<ExperimentResult>& reports,
     EXPECT_EQ(res.duration_improved.slots, bi.slots);
     EXPECT_EQ(res.duration_improved.valid, bi.valid);
     ASSERT_EQ(res.duration_improved.r_hat.has_value(), bi.r_hat.has_value());
-    if (bi.r_hat) EXPECT_EQ(*res.duration_improved.r_hat, *bi.r_hat);
+    if (bi.r_hat) {
+        EXPECT_EQ(*res.duration_improved.r_hat, *bi.r_hat);
+    }
 
     const ValidationReport bv = validate(counts);
     EXPECT_EQ(res.validation.pair_asymmetry, bv.pair_asymmetry);

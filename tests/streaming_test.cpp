@@ -106,7 +106,9 @@ TEST(OnlineEstimators, DurationMatchesBatchExactly) {
         EXPECT_EQ(si.slots, bi.slots);
         EXPECT_EQ(si.valid, bi.valid);
         EXPECT_EQ(si.r_hat.has_value(), bi.r_hat.has_value());
-        if (bi.r_hat) EXPECT_EQ(*si.r_hat, *bi.r_hat);
+        if (bi.r_hat) {
+            EXPECT_EQ(*si.r_hat, *bi.r_hat);
+        }
     }
 }
 
