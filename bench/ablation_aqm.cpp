@@ -1,0 +1,196 @@
+// Extension experiment: the full AQM x traffic x loss-process ablation the
+// paper's §7 asks for.  Every cell runs BADABING at p = 0.3 against one
+// bottleneck discipline (drop-tail, RED, PIE, CoDel), one traffic mix (CBR
+// with engineered episodes, or greedy TCP), with the Gilbert-Elliott
+// non-congestive loss segment off or on — and reports where the frequency
+// and duration estimates pick up bias.  A passive Q-bit observer rides every
+// cell as the router-centric comparison estimator.
+//
+// BB_BENCH_ABLATION_DURATION_S overrides the per-cell duration (default 120,
+// enough for stable cell shapes; the tables use the full 900 s runs).
+// BB_BENCH_JSON=<dir> additionally writes BENCH_ablation_aqm.json there.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common.h"
+
+namespace {
+
+using namespace bb::bench;
+namespace scen = bb::scenarios;
+
+bb::TimeNs ablation_duration() {
+    const char* v = std::getenv("BB_BENCH_ABLATION_DURATION_S");
+    if (v != nullptr && *v != '\0') return bb::seconds_i(std::atoll(v));
+    return bb::seconds_i(120);
+}
+
+const char* discipline_name(scen::QueueDiscipline d) {
+    switch (d) {
+        case scen::QueueDiscipline::drop_tail: return "drop_tail";
+        case scen::QueueDiscipline::red: return "red";
+        case scen::QueueDiscipline::pie: return "pie";
+        case scen::QueueDiscipline::codel: return "codel";
+    }
+    return "?";
+}
+
+struct CellOut {
+    std::string discipline;
+    std::string traffic;
+    bool ge{false};
+    double truth_frequency{0.0};
+    double est_frequency{0.0};
+    double freq_rel_error{0.0};   // signed: (est - truth) / truth
+    double truth_duration_s{0.0};
+    double est_duration_s{0.0};
+    double dur_rel_error{0.0};
+    std::size_t episodes{0};
+    double path_loss_rate{0.0};   // (queue drops + GE drops) / queue arrivals
+    double passive_loss_rate{0.0};  // Q-bit observer estimate of the same
+    std::uint64_t qbit_merged_blocks{0};
+};
+
+double rel_error(double est, double truth) {
+    if (truth <= 0.0) return 0.0;
+    return (est - truth) / truth;
+}
+
+CellOut run_cell(scen::QueueDiscipline d, bool tcp, bool ge) {
+    auto tb = bench_testbed();
+    tb.discipline = d;
+    tb.qbit_block = 100;
+    if (ge) {
+        tb.ge_enabled = true;
+        tb.ge.p_bad_loss = 0.3;
+        tb.ge.mean_good = bb::seconds_i(5);
+        tb.ge.mean_bad = bb::milliseconds(100);
+    }
+    auto wl = tcp ? infinite_tcp_workload() : cbr_uniform_workload();
+    wl.duration = ablation_duration();
+
+    scen::Experiment exp{tb, wl, truth_for(wl)};
+    bb::probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+
+    const auto truth = exp.truth();
+    const auto res = tool.analyze(exp.default_marking(bc.p));
+
+    CellOut out;
+    out.discipline = discipline_name(d);
+    out.traffic = tcp ? "tcp" : "cbr";
+    out.ge = ge;
+    out.truth_frequency = truth.frequency;
+    out.est_frequency = res.frequency.value;
+    out.freq_rel_error = rel_error(out.est_frequency, out.truth_frequency);
+    out.truth_duration_s = truth.mean_duration_s;
+    out.est_duration_s =
+        res.duration_basic.valid ? res.duration_basic.seconds(tool.slot_width()) : 0.0;
+    out.dur_rel_error = rel_error(out.est_duration_s, out.truth_duration_s);
+    out.episodes = truth.episodes;
+
+    auto& queue = exp.testbed().bottleneck();
+    const std::uint64_t ge_drops = exp.testbed().ge() ? exp.testbed().ge()->drops() : 0;
+    if (queue.arrivals() > 0) {
+        out.path_loss_rate = static_cast<double>(queue.drops() + ge_drops) /
+                             static_cast<double>(queue.arrivals());
+    }
+    if (auto* obs = exp.testbed().qbit_observer()) {
+        obs->finalize();
+        out.passive_loss_rate = obs->loss_rate();
+        out.qbit_merged_blocks = obs->merged_blocks();
+    }
+    return out;
+}
+
+void append_json_cell(std::string& doc, const CellOut& c, bool first) {
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s    {\"discipline\": \"%s\", \"traffic\": \"%s\", \"ge\": %s,\n"
+        "     \"truth_frequency\": %.8f, \"est_frequency\": %.8f, "
+        "\"freq_rel_error\": %.6f,\n"
+        "     \"truth_duration_s\": %.6f, \"est_duration_s\": %.6f, "
+        "\"dur_rel_error\": %.6f,\n"
+        "     \"episodes\": %zu, \"path_loss_rate\": %.8f, "
+        "\"passive_loss_rate\": %.8f, \"qbit_merged_blocks\": %llu}",
+        first ? "" : ",\n", c.discipline.c_str(), c.traffic.c_str(),
+        c.ge ? "true" : "false", c.truth_frequency, c.est_frequency, c.freq_rel_error,
+        c.truth_duration_s, c.est_duration_s, c.dur_rel_error, c.episodes,
+        c.path_loss_rate, c.passive_loss_rate,
+        static_cast<unsigned long long>(c.qbit_merged_blocks));
+    doc += buf;
+}
+
+void maybe_write_json(const std::vector<CellOut>& cells) {
+    const char* dir = std::getenv("BB_BENCH_JSON");
+    if (dir == nullptr) return;
+    std::string path{dir};
+    if (path.empty() || path == "1") path = ".";
+    path += "/BENCH_ablation_aqm.json";
+
+    std::string doc = "{\n  \"bench\": \"ablation_aqm\",\n";
+    char head[128];
+    std::snprintf(head, sizeof head, "  \"duration_s\": %.0f,\n  \"probe_p\": 0.3,\n",
+                  ablation_duration().to_seconds());
+    doc += head;
+    doc += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        append_json_cell(doc, cells[i], i == 0);
+    }
+    doc += "\n  ]\n}\n";
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("json: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation: AQM discipline x traffic mix x Gilbert-Elliott loss",
+                 "extension of Sommers et al., SIGCOMM 2005, Section 7 discussion");
+    std::printf("per-cell duration: %.0f s (BB_BENCH_ABLATION_DURATION_S overrides)\n",
+                ablation_duration().to_seconds());
+    std::printf("%-10s %-4s %-3s | %-19s | %-19s | %-17s | %s\n", "queue", "mix", "ge",
+                "frequency", "duration (s)", "loss rate", "qbit");
+    std::printf("%-10s %-4s %-3s | %-9s %-9s | %-9s %-9s | %-8s %-8s | %s\n", "", "", "",
+                "true", "est", "true", "est", "path", "passive", "merged");
+    std::printf("--------------------------------------------------------------------"
+                "------------------\n");
+
+    std::vector<CellOut> cells;
+    for (const auto d :
+         {scen::QueueDiscipline::drop_tail, scen::QueueDiscipline::red,
+          scen::QueueDiscipline::pie, scen::QueueDiscipline::codel}) {
+        for (const bool tcp : {false, true}) {
+            for (const bool ge : {false, true}) {
+                CellOut c = run_cell(d, tcp, ge);
+                std::printf("%-10s %-4s %-3s | %-9.4f %-9.4f | %-9.3f %-9.3f | "
+                            "%-8.5f %-8.5f | %llu\n",
+                            c.discipline.c_str(), c.traffic.c_str(), c.ge ? "on" : "off",
+                            c.truth_frequency, c.est_frequency, c.truth_duration_s,
+                            c.est_duration_s, c.path_loss_rate, c.passive_loss_rate,
+                            static_cast<unsigned long long>(c.qbit_merged_blocks));
+                cells.push_back(std::move(c));
+            }
+        }
+    }
+
+    std::printf("\nexpected shape: drop-tail keeps estimates closest to truth (the\n"
+                "paper's own regime); RED/PIE spread drops and dissolve episode\n"
+                "edges, CoDel's head-drop sqrt schedule reshapes durations most, and\n"
+                "the Gilbert-Elliott rows add loss the queue-centric truth only sees\n"
+                "through the monitor's external-drop feed.  The passive Q-bit column\n"
+                "tracks the router-centric PACKET loss rate, not episode frequency —\n"
+                "the contrast the paper draws in Section 2.\n");
+    maybe_write_json(cells);
+    return 0;
+}

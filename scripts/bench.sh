@@ -41,7 +41,7 @@ if [[ ! -d "$BUILD" ]]; then
   cmake -B "$BUILD" -S . >/dev/null
 fi
 cmake --build "$BUILD" -j "$JOBS" \
-  --target micro_core micro_sim micro_stream micro_obs micro_sched
+  --target micro_core micro_sim micro_stream micro_obs micro_sched ablation_aqm
 
 if [[ "$MODE" == compare ]]; then
   OUT="$BUILD/bench_current"
@@ -89,6 +89,12 @@ BB_BENCH_JSON="$OUT" "./$BUILD/bench/micro_obs"
 
 echo "==> bench: micro_sched"
 BB_BENCH_JSON="$OUT" "./$BUILD/bench/micro_sched"
+
+echo "==> bench: ablation_aqm"
+if [[ "$FAST" == 1 ]]; then
+  export BB_BENCH_ABLATION_DURATION_S="${BB_BENCH_ABLATION_DURATION_S:-20}"
+fi
+BB_BENCH_JSON="$OUT" "./$BUILD/bench/ablation_aqm"
 
 if [[ "$MODE" == compare ]]; then
   COMPARE_ARGS=(--baseline . --current "$OUT" --tolerance "$TOL")

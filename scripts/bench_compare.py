@@ -8,6 +8,8 @@ Structural invariants — always enforced, workload-size independent:
   * micro_stream / micro_obs bit-identity flags stay true
   * micro_sched's steady-state allocation count stays zero
   * every google-benchmark case present in the baseline still runs
+  * ablation_aqm keeps the full discipline x traffic x GE cell matrix, with
+    every rate a finite number in [0, 1]
 
 Performance gates — enforced only when the numbers are comparable
 (same workload parameters, not --fast; raw per-op timings additionally
@@ -26,7 +28,8 @@ import socket
 import sys
 from pathlib import Path
 
-BENCHES = ("micro_core", "micro_sim", "micro_stream", "micro_obs", "micro_sched")
+BENCHES = ("micro_core", "micro_sim", "micro_stream", "micro_obs", "micro_sched",
+           "ablation_aqm")
 
 failures: list[str] = []
 notes: list[str] = []
@@ -161,6 +164,36 @@ def check_sched(base, cur, tol: float, fast: bool) -> None:
                              f"{b:.2f} Mev/s (-{(1 - c / b) * 100:.1f}%, advisory)")
 
 
+def _cell_key(cell) -> tuple:
+    return (cell.get("discipline"), cell.get("traffic"), cell.get("ge"))
+
+
+def check_ablation(base, cur, tol: float, fast: bool) -> None:
+    import math
+
+    bcells = {_cell_key(c): c for c in base.get("cells", [])}
+    ccells = {_cell_key(c): c for c in cur.get("cells", [])}
+    for key in sorted(set(bcells) - set(ccells), key=str):
+        fail(f"ablation_aqm: cell {key} disappeared from the current run")
+    rate_fields = ("truth_frequency", "est_frequency", "path_loss_rate",
+                   "passive_loss_rate")
+    finite_fields = rate_fields + ("freq_rel_error", "truth_duration_s",
+                                   "est_duration_s", "dur_rel_error")
+    for key, cell in sorted(ccells.items(), key=lambda kv: str(kv[0])):
+        for f in finite_fields:
+            v = cell.get(f)
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                fail(f"ablation_aqm: cell {key} field '{f}' is not a finite number: {v!r}")
+        for f in rate_fields:
+            v = cell.get(f, 0.0)
+            if isinstance(v, (int, float)) and math.isfinite(v) and not 0.0 <= v <= 1.0:
+                fail(f"ablation_aqm: cell {key} field '{f}' = {v} outside [0, 1]")
+    # Bias drift is workload-sized and seeded; it is NOT gated here — the
+    # estimator error bounds live in aqm_validation_test, and this check only
+    # guards the artifact's structure.
+    notes.append("ablation_aqm: structural check only (cell coverage + sanity)")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", type=Path, required=True)
@@ -191,6 +224,8 @@ def main() -> int:
             check_obs(base, cur, args.tolerance, args.fast)
         elif name == "micro_sched":
             check_sched(base, cur, args.tolerance, args.fast)
+        elif name == "ablation_aqm":
+            check_ablation(base, cur, args.tolerance, args.fast)
 
     for n in notes:
         print(f"note: {n}")

@@ -6,9 +6,14 @@ Rules (see DESIGN.md §10 for rationale):
   no-std-function     std::function is banned in src/sim and src/core — hot
                       paths use util::UniqueFunction (single allocation-free
                       dispatch, move-only).
-  no-raw-random       rand()/srand()/std::random_device are banned everywhere
-                      except util/rng.h: all randomness flows through the
-                      deterministically fork-seeded util::Rng.
+  no-raw-random       rand()/srand()/std::random_device and raw <random>
+                      engines (std::mt19937/mt19937_64, minstd_rand/0,
+                      default_random_engine) are banned everywhere except
+                      util/rng.h: all randomness flows through the
+                      deterministically fork-seeded util::Rng.  A raw engine
+                      in a queue discipline or the lossy link would silently
+                      break replica reproducibility and the seed-pinned
+                      golden tests.
   no-direct-io        printf/fprintf/puts/fputs/std::cout/std::cerr are banned
                       in src/ outside src/obs — output goes through obs::log
                       or the tools layer.  (snprintf formatting is fine.)
@@ -155,8 +160,10 @@ RULES = [
     {
         "id": "no-raw-random",
         "scope": lambda p: in_dirs(p, "src", "tools", "bench") and p != "src/util/rng.h",
-        "check": grep_rule(r"\b(?:std::)?s?rand\s*\(|\bstd::random_device\b",
-                           "raw randomness; all draws go through the seeded util::Rng"),
+        "check": grep_rule(
+            r"\b(?:std::)?s?rand\s*\(|\bstd::random_device\b"
+            r"|\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)\b",
+            "raw randomness; all draws go through the seeded util::Rng"),
     },
     {
         "id": "no-direct-io",
@@ -265,6 +272,16 @@ SELF_TEST_TABLE = [
      True, False),
     ("no-raw-random", "src/core/x.cpp", "const auto n = 1'000'000; int r = rand();",
      False, True),  # digit separators must not eat the rest of the line
+    # Raw <random> engines in the discipline/lossy-link layer: determinism
+    # there rests on the fork-seeded util::Rng, so engines are findings too.
+    ("no-raw-random", "src/sim/aqm.cpp", "std::mt19937_64 eng{17};", False, True),
+    ("no-raw-random", "src/sim/aqm.cpp", "std::mt19937 eng;", False, True),
+    ("no-raw-random", "src/sim/lossy_link.cpp", "std::default_random_engine e;", False, True),
+    ("no-raw-random", "src/sim/aqm.cpp", "std::minstd_rand lcg;", False, True),
+    ("no-raw-random", "src/sim/aqm.cpp", "Rng rng{17};", False, False),  # the blessed path
+    ("no-raw-random", "src/util/rng.h", "std::mt19937_64 eng_;", False, False),  # exempt
+    ("no-raw-random", "src/sim/x.cpp", "std::minstd_rand_like v;", False, False),  # substring trap
+    ("no-raw-random", "src/sim/x.cpp", "// std::mt19937 in prose", False, False),  # comment
 ]
 
 

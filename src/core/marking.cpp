@@ -36,7 +36,10 @@ std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& pr
     std::deque<TimeNs> owd_max_samples;
     std::vector<TimeNs> loss_times;
     for (const auto& pr : probes) {
-        if (!pr.any_lost()) continue;
+        // A CE mark is congestion observed without loss: it seeds the tau
+        // window and contributes an OWD_max sample exactly like a loss.
+        const bool indicated = pr.any_lost() || (cfg_.use_ce && pr.ce_marked);
+        if (!indicated) continue;
         loss_times.push_back(pr.send_time);
         if (pr.any_received) {
             // Queueing component of the delay of the most recent successfully
@@ -65,6 +68,7 @@ std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& pr
     };
 
     std::uint64_t by_loss = 0;
+    std::uint64_t by_ce = 0;
     std::uint64_t by_delay = 0;
     for (const auto& pr : probes) {
         SlotMark m;
@@ -73,6 +77,10 @@ std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& pr
             m.congested = true;
             m.by_loss = true;
             ++by_loss;
+        } else if (cfg_.use_ce && pr.ce_marked) {
+            m.congested = true;
+            m.by_ce = true;
+            ++by_ce;
         } else if (cfg_.use_delay_rule && owd_max_.ns() > 0 && pr.any_received) {
             const TimeNs qd = pr.max_owd - base;
             if (qd > threshold && near_loss(pr.send_time)) {
@@ -86,11 +94,13 @@ std::vector<SlotMark> CongestionMarker::mark(const std::vector<ProbeOutcome>& pr
 
     // Marking-rule decision tallies, flushed once per mark() call.
     static obs::Counter& loss_ctr = obs::counter("core.marking.by_loss");
+    static obs::Counter& ce_ctr = obs::counter("core.marking.by_ce");
     static obs::Counter& delay_ctr = obs::counter("core.marking.by_delay");
     static obs::Counter& clear_ctr = obs::counter("core.marking.uncongested");
     if (by_loss > 0) loss_ctr.inc(by_loss);
+    if (by_ce > 0) ce_ctr.inc(by_ce);
     if (by_delay > 0) delay_ctr.inc(by_delay);
-    const std::uint64_t clear = marks.size() - by_loss - by_delay;
+    const std::uint64_t clear = marks.size() - by_loss - by_ce - by_delay;
     if (clear > 0) clear_ctr.inc(clear);
     return marks;
 }

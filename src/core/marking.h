@@ -32,6 +32,10 @@ struct MarkingConfig {
     // Disable rule (b) to mark on probe loss only — the naive scheme the
     // paper's Section 6.1 improves upon; kept for ablation.
     bool use_delay_rule{true};
+    // Treat a CE-marked probe as a congestion indication, equivalent to a
+    // loss: it seeds the tau window and marks its slot.  Inert unless the
+    // probes were ECN-capable and an AQM hop actually marked them.
+    bool use_ce{true};
 };
 
 struct SlotMark {
@@ -39,6 +43,7 @@ struct SlotMark {
     bool congested{false};
     bool by_loss{false};   // marked because the probe itself lost a packet
     bool by_delay{false};  // marked by the tau/alpha delay rule
+    bool by_ce{false};     // marked because the probe carried a CE mark
 };
 
 class CongestionMarker {

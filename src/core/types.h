@@ -107,6 +107,9 @@ struct ProbeOutcome {
     // successfully transmitted packet estimates the maximum queue depth.
     TimeNs max_owd{TimeNs::zero()};
     bool any_received{false};
+    // Any packet of the probe arrived carrying a CE mark: the queue signalled
+    // congestion without dropping (ECN-capable probes against an AQM hop).
+    bool ce_marked{false};
 
     [[nodiscard]] bool any_lost() const noexcept { return packets_lost > 0; }
     [[nodiscard]] bool all_lost() const noexcept {

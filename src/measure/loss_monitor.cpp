@@ -31,6 +31,20 @@ LossMonitor::LossMonitor(sim::Scheduler& sched, sim::QueueBase& queue, Options o
     });
 }
 
+void LossMonitor::observe_external_drop(TimeNs at, bool is_probe) {
+    // Mirrors the on_drop hook body: external losses count toward the same
+    // truth record as queue drops.
+    if (is_probe) {
+        ++probe_drops_;
+    } else {
+        ++cross_drops_;
+    }
+    if (is_probe && !opts_.count_probe_traffic) return;
+    ++drops_count_;
+    if (truth_acc_) truth_acc_->add_drop(at);
+    if (opts_.store_drops) drops_.push_back(at);
+}
+
 double LossMonitor::router_loss_rate() const noexcept {
     const auto lost = static_cast<double>(drops_count_);
     const auto total = lost + static_cast<double>(successes_);

@@ -40,6 +40,13 @@ public:
     LossMonitor(const LossMonitor&) = delete;
     LossMonitor& operator=(const LossMonitor&) = delete;
 
+    // Fold in a loss that happened somewhere other than the monitored queue
+    // (e.g. a GilbertElliottLink downstream of it), so ground truth covers
+    // the whole path.  Calls must be non-decreasing in time relative to the
+    // queue's own drops; links downstream of the queue satisfy this
+    // naturally because their drops fire at later simulated instants.
+    void observe_external_drop(TimeNs at, bool is_probe);
+
     [[nodiscard]] const std::vector<TimeNs>& drop_times() const noexcept { return drops_; }
     [[nodiscard]] const std::vector<DelayedDeparture>& departures() const noexcept {
         return departures_;

@@ -1,0 +1,90 @@
+#include "measure/passive_loss.h"
+
+#include <stdexcept>
+
+namespace bb::measure {
+
+QBitMarker::QBitMarker(std::uint32_t block_size, sim::PacketSink& downstream)
+    : block_size_{block_size}, downstream_{&downstream} {
+    if (block_size_ == 0) throw std::invalid_argument{"QBitMarker: block_size must be > 0"};
+}
+
+void QBitMarker::accept(const sim::Packet& pkt) {
+    sim::Packet marked = pkt;
+    marked.qbit = phase_;
+    ++marked_;
+    if (++in_block_ == block_size_) {
+        phase_ = !phase_;
+        in_block_ = 0;
+        ++blocks_started_;
+    }
+    downstream_->accept(marked);
+}
+
+QBitObserver::QBitObserver(std::uint32_t block_size, sim::Scheduler& sched,
+                           sim::PacketSink& downstream)
+    : block_size_{block_size}, sched_{&sched}, downstream_{&downstream} {
+    if (block_size_ == 0) throw std::invalid_argument{"QBitObserver: block_size must be > 0"};
+}
+
+void QBitObserver::close_block() {
+    blocks_.push_back(current_);
+    current_ = Block{};
+    open_ = false;
+}
+
+void QBitObserver::accept(const sim::Packet& pkt) {
+    const TimeNs now = sched_->now();
+    if (open_ && pkt.qbit != current_.phase) close_block();
+    if (!open_) {
+        open_ = true;
+        current_.phase = pkt.qbit;
+        current_.observed = 0;
+        current_.first_at = now;
+    }
+    ++current_.observed;
+    current_.last_at = now;
+    ++observed_;
+    downstream_->accept(pkt);
+}
+
+void QBitObserver::finalize() {
+    // Only keep the tail if it is a complete block; a short tail is just the
+    // wave being cut off mid-block, not loss.
+    if (open_ && current_.observed >= block_size_) close_block();
+    open_ = false;
+}
+
+std::uint64_t QBitObserver::lost_packets() const noexcept {
+    std::uint64_t lost = 0;
+    for (const auto& b : blocks_) {
+        if (b.observed < block_size_) lost += block_size_ - b.observed;
+    }
+    return lost;
+}
+
+std::uint64_t QBitObserver::expected_packets() const noexcept {
+    std::uint64_t expected = 0;
+    for (const auto& b : blocks_) {
+        // A merged (over-full) block spans at least two sender blocks; count
+        // what we actually saw so the rate denominator stays conservative.
+        expected += b.observed < block_size_ ? block_size_ : b.observed;
+    }
+    return expected;
+}
+
+double QBitObserver::loss_rate() const noexcept {
+    const auto expected = expected_packets();
+    if (expected == 0) return 0.0;
+    return static_cast<double>(lost_packets()) / static_cast<double>(expected);
+}
+
+std::uint64_t QBitObserver::merged_blocks() const noexcept {
+    std::uint64_t merged = 0;
+    for (const auto& b : blocks_) {
+        if (b.observed > block_size_) ++merged;
+    }
+    return merged;
+}
+
+}  // namespace bb::measure

@@ -1,0 +1,98 @@
+// Passive in-band loss measurement with a Q-bit square wave — the
+// sender-side cousin of the QUIC spin-bit loss bits (L/Q bits,
+// draft-ietf-ippm-explicit-flow-measurements).  The sender flips a single
+// header bit every `block_size` packets; a downstream observer counts
+// arrivals per phase and infers upstream loss from short blocks.  This gives
+// a comparison estimator for the active BADABING probe process: it measures
+// the aggregate PACKET loss rate (the paper's "router-centric" rate), not
+// episode frequency/duration, and it aliases when whole blocks vanish.
+#ifndef BB_MEASURE_PASSIVE_LOSS_H
+#define BB_MEASURE_PASSIVE_LOSS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace bb::measure {
+
+// Sender side: stamps the Q-bit square wave onto everything passing through.
+// Sits in front of the path under measurement; all flows share one wave
+// (aggregate marking, like a marking middlebox at the ingress).
+class QBitMarker final : public sim::PacketSink {
+public:
+    QBitMarker(std::uint32_t block_size, sim::PacketSink& downstream);
+
+    void accept(const sim::Packet& pkt) override;
+
+    [[nodiscard]] std::uint32_t block_size() const noexcept { return block_size_; }
+    [[nodiscard]] std::uint64_t marked() const noexcept { return marked_; }
+    // Completed blocks emitted so far (the wave has flipped this many times).
+    [[nodiscard]] std::uint64_t blocks_started() const noexcept { return blocks_started_; }
+
+private:
+    std::uint32_t block_size_;
+    sim::PacketSink* downstream_;
+    bool phase_{false};
+    std::uint32_t in_block_{0};
+    std::uint64_t marked_{0};
+    std::uint64_t blocks_started_{1};  // the first block starts implicitly
+};
+
+// Observer side: counts arrivals per Q-bit phase.  Each phase change closes
+// a block; a closed block with fewer than block_size packets lost the
+// difference upstream.
+//
+// Known aliasing limitation (inherent to the technique, not a bug): if an
+// ENTIRE block is lost, the two neighbouring blocks of the opposite phase
+// merge into one observed block and the estimator undercounts by up to
+// 2*block_size.  The merged-block counter below exposes when this happened.
+class QBitObserver final : public sim::PacketSink {
+public:
+    struct Block {
+        bool phase{false};
+        std::uint64_t observed{0};
+        TimeNs first_at{TimeNs::zero()};
+        TimeNs last_at{TimeNs::zero()};
+    };
+
+    QBitObserver(std::uint32_t block_size, sim::Scheduler& sched,
+                 sim::PacketSink& downstream);
+
+    void accept(const sim::Packet& pkt) override;
+
+    // Close the trailing (still-open) block.  Call once after the run; the
+    // trailing block is only counted if it is full (a partial tail says
+    // nothing about loss).
+    void finalize();
+
+    [[nodiscard]] const std::vector<Block>& blocks() const noexcept { return blocks_; }
+    [[nodiscard]] std::uint64_t observed_packets() const noexcept { return observed_; }
+    // Packets inferred lost across closed blocks (over-full merged blocks
+    // contribute zero; see the aliasing note above).
+    [[nodiscard]] std::uint64_t lost_packets() const noexcept;
+    [[nodiscard]] std::uint64_t expected_packets() const noexcept;
+    // lost / expected over closed blocks; the passive estimate of the
+    // router-centric loss rate.
+    [[nodiscard]] double loss_rate() const noexcept;
+    // Blocks whose count exceeded block_size: whole-block loss aliasing
+    // happened at least this many times.
+    [[nodiscard]] std::uint64_t merged_blocks() const noexcept;
+
+private:
+    void close_block();
+
+    std::uint32_t block_size_;
+    sim::Scheduler* sched_;
+    sim::PacketSink* downstream_;
+    std::vector<Block> blocks_;
+    Block current_{};
+    bool open_{false};
+    std::uint64_t observed_{0};
+};
+
+}  // namespace bb::measure
+
+#endif  // BB_MEASURE_PASSIVE_LOSS_H

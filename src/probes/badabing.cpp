@@ -45,6 +45,7 @@ void BadabingTool::emit_probe(core::SlotIndex slot) {
         pkt.seq = slot;
         pkt.probe_pkt = k;
         pkt.sent_at = sched_->now();
+        pkt.ecn_ect = cfg_.ecn_probes;
         ++packets_sent_;
         bytes_sent_ += cfg_.packet_bytes;
         // Back-to-back emission: successive packets leave `intra_probe_gap`
@@ -69,6 +70,7 @@ void BadabingTool::accept(const sim::Packet& pkt) {
     recv_ctr.inc();
     SlotRecord& rec = records_[pkt.seq];
     ++rec.received;
+    if (pkt.ecn_ce) rec.ce = true;
     const TimeNs skew =
         seconds(sched_->now().to_seconds() * cfg_.receiver_clock_skew_ppm * 1e-6);
     const TimeNs owd = sched_->now() + cfg_.receiver_clock_offset + skew - pkt.sent_at;
@@ -85,6 +87,7 @@ void BadabingTool::stream_outcomes(core::OutcomeSink& sink) const {
             po.packets_lost = cfg_.packets_per_probe - it->second.received;
             po.max_owd = it->second.max_owd;
             po.any_received = it->second.received > 0;
+            po.ce_marked = it->second.ce;
         } else {
             po.packets_lost = cfg_.packets_per_probe;
             po.any_received = false;

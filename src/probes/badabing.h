@@ -37,6 +37,10 @@ struct BadabingConfig {
     sim::FlowId flow{7700};
     TimeNs start{TimeNs::zero()};
     core::SlotIndex total_slots{180'000};  // paper §6.2: 900 s at 5 ms
+    // Send ECN-capable (ECT) probe packets: an AQM hop CE-marks instead of
+    // dropping them, and the outcome records the mark as a congestion
+    // observation (ProbeOutcome::ce_marked).
+    bool ecn_probes{false};
     // Receiver clock error relative to the sender (§7 discussion).  A
     // constant offset shifts all OWDs and must not change the estimates;
     // skew (drift, in parts-per-million of elapsed time) slowly moves the
@@ -104,6 +108,7 @@ private:
     struct SlotRecord {
         int received{0};
         TimeNs max_owd{TimeNs::zero()};
+        bool ce{false};
     };
 
     void emit_probe(core::SlotIndex slot);

@@ -47,7 +47,16 @@ Experiment::Experiment(const TestbedConfig& tb_cfg, const WorkloadConfig& wl_cfg
       testbed_{tb_cfg},
       monitor_{std::make_unique<measure::LossMonitor>(testbed_.sched(), testbed_.bottleneck(),
                                                       monitor_options(truth_cfg, wl_cfg))},
-      workload_{testbed_, wl_cfg} {}
+      workload_{testbed_, wl_cfg} {
+    // Losses on the Gilbert-Elliott segment count toward the same ground
+    // truth as bottleneck drops: the GE link sits downstream of the queue,
+    // so its drop instants are non-decreasing relative to the queue's.
+    if (auto* ge = testbed_.ge()) {
+        ge->on_drop([mon = monitor_.get()](const sim::Packet& pkt, TimeNs at) {
+            mon->observe_external_drop(at, pkt.kind == sim::PacketKind::probe);
+        });
+    }
+}
 
 probes::ZingProber& Experiment::add_zing(const probes::ZingProber::Config& cfg) {
     probes::ZingProber::Config local = cfg;
@@ -93,6 +102,7 @@ void Experiment::run() {
     // Drain margin: a couple of RTTs so in-flight packets and ACKs settle.
     const TimeNs margin = seconds_i(2);
     testbed_.sched().run_until(workload_cfg_.duration + margin);
+    if (auto* obs = testbed_.qbit_observer()) obs->finalize();
     ran_ = true;
 }
 

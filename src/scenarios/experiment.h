@@ -52,6 +52,7 @@ public:
     [[nodiscard]] std::vector<measure::LossEpisode> episodes() const;
 
     [[nodiscard]] Testbed& testbed() noexcept { return testbed_; }
+    [[nodiscard]] Workload& workload() noexcept { return workload_; }
     [[nodiscard]] measure::LossMonitor& monitor() noexcept { return *monitor_; }
     [[nodiscard]] const WorkloadConfig& workload_config() const noexcept {
         return workload_cfg_;

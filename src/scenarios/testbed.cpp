@@ -6,23 +6,37 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_{cfg} {
     fwd_demux_.set_default(blackhole_);
     rev_demux_.set_default(blackhole_);
 
+    // Build the forward path back-to-front: demux <- [observer] <- [GE] <-
+    // bottleneck <- [hops] <- [marker].
+    sim::PacketSink* after_bottleneck = &fwd_demux_;
+    if (cfg.qbit_block > 0) {
+        qbit_observer_ =
+            std::make_unique<measure::QBitObserver>(cfg.qbit_block, sched_, fwd_demux_);
+        after_bottleneck = qbit_observer_.get();
+    }
+    if (cfg.ge_enabled) {
+        ge_ = std::make_unique<sim::GilbertElliottLink>(sched_, cfg.ge, *after_bottleneck,
+                                                        Rng{cfg.seed ^ 0x6E11ULL});
+        after_bottleneck = ge_.get();
+    }
+
     sim::QueueBase::LinkConfig link;
     link.rate_bps = cfg.bottleneck_rate_bps;
     link.prop_delay = cfg.prop_delay;
     link.capacity_time = cfg.buffer_time;
-
-    if (cfg.discipline == QueueDiscipline::red) {
-        bottleneck_ = std::make_unique<sim::RedQueue>(sched_, link, cfg.red, fwd_demux_,
-                                                      Rng{cfg.seed ^ 0xAEDull});
-    } else {
-        bottleneck_ = std::make_unique<sim::BottleneckQueue>(sched_, link, fwd_demux_);
-    }
+    link.discipline = cfg.discipline;
+    link.red = cfg.red;
+    link.pie = cfg.pie;
+    link.codel = cfg.codel;
+    link.seed = cfg.seed;
+    bottleneck_ = sim::make_queue(sched_, link, *after_bottleneck);
 
     // Upstream hops: faster drop-tail queues with negligible extra
     // propagation, feeding the next hop toward the bottleneck.
     sim::PacketSink* next = bottleneck_.get();
     for (int i = 0; i < cfg.extra_hops; ++i) {
         sim::QueueBase::LinkConfig hop = link;
+        hop.discipline = sim::QueueDiscipline::drop_tail;
         hop.rate_bps = static_cast<std::int64_t>(cfg.extra_hop_rate_factor *
                                                  static_cast<double>(cfg.bottleneck_rate_bps));
         hop.prop_delay = microseconds(100);
@@ -32,6 +46,13 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_{cfg} {
     // hops_ was built from the bottleneck outward; reverse so front() is the
     // entry point.
     std::reverse(hops_.begin(), hops_.end());
+
+    forward_in_ = hops_.empty() ? static_cast<sim::PacketSink*>(bottleneck_.get())
+                                : static_cast<sim::PacketSink*>(hops_.front().get());
+    if (cfg.qbit_block > 0) {
+        qbit_marker_ = std::make_unique<measure::QBitMarker>(cfg.qbit_block, *forward_in_);
+        forward_in_ = qbit_marker_.get();
+    }
 
     reverse_ = std::make_unique<sim::DelayLink>(sched_, cfg.prop_delay, rev_demux_);
 }

@@ -4,8 +4,13 @@
 // holds ~100 ms of packets, as in the paper.
 //
 // Extensions beyond the paper's single drop-tail hop:
-//  - `discipline` selects the bottleneck queue (drop-tail or RED), for the
-//    AQM question §7 raises;
+//  - `discipline` selects the bottleneck queue (drop-tail, RED, PIE or
+//    CoDel via the sim::make_queue factory), for the AQM question §7 raises;
+//  - `ge` layers a Gilbert-Elliott on/off loss process downstream of the
+//    bottleneck, for loss that congestion-episode estimators cannot see in
+//    the queue;
+//  - `qbit_block` inserts a passive Q-bit marker/observer pair around the
+//    congested segment, giving an in-band comparison estimator;
 //  - `extra_hops` inserts faster upstream queues in front of the bottleneck,
 //    for the "more complex multi-hop scenarios" §6.2/§7 leave as future work.
 //
@@ -19,24 +24,36 @@
 #include <memory>
 #include <vector>
 
+#include "measure/passive_loss.h"
 #include "sim/demux.h"
 #include "sim/link.h"
+#include "sim/lossy_link.h"
 #include "sim/scheduler.h"
 #include "util/time.h"
 
 namespace bb::scenarios {
 
-enum class QueueDiscipline { drop_tail, red };
+// One discipline vocabulary across the tree: the scenario layer re-exports
+// the simulator's enum (drop_tail, red, pie, codel).
+using QueueDiscipline = sim::QueueDiscipline;
 
 struct TestbedConfig {
     std::int64_t bottleneck_rate_bps{30'000'000};
     TimeNs prop_delay{milliseconds(50)};    // each direction, as in the paper
     TimeNs buffer_time{milliseconds(100)};  // bottleneck buffer depth
     QueueDiscipline discipline{QueueDiscipline::drop_tail};
-    sim::RedQueue::RedParams red{};
+    sim::RedParams red{};
+    sim::PieParams pie{};
+    sim::CoDelParams codel{};
+    // Gilbert-Elliott loss process on the segment after the bottleneck
+    // (disabled by default; enable with ge_enabled).
+    bool ge_enabled{false};
+    sim::GilbertElliottLink::Config ge{};
+    // Passive Q-bit loss instrumentation around the lossy segment; 0 = off.
+    std::uint32_t qbit_block{0};
     int extra_hops{0};                   // upstream queues before the bottleneck
     double extra_hop_rate_factor{1.5};   // their rate, relative to the bottleneck
-    std::uint64_t seed{1};               // for RED's randomized drops
+    std::uint64_t seed{1};               // for randomized drops (RED/PIE/GE)
 };
 
 class Testbed {
@@ -51,10 +68,7 @@ public:
     [[nodiscard]] const sim::QueueBase& bottleneck() const noexcept { return *bottleneck_; }
 
     // Data-direction entry point (feeds the first hop).
-    [[nodiscard]] sim::PacketSink& forward_in() noexcept {
-        return hops_.empty() ? static_cast<sim::PacketSink&>(*bottleneck_)
-                             : static_cast<sim::PacketSink&>(*hops_.front());
-    }
+    [[nodiscard]] sim::PacketSink& forward_in() noexcept { return *forward_in_; }
     // Reverse-direction entry point (ACK path back to the senders).
     [[nodiscard]] sim::PacketSink& reverse_in() noexcept { return *reverse_; }
 
@@ -62,6 +76,14 @@ public:
     [[nodiscard]] sim::FlowDemux& rev_demux() noexcept { return rev_demux_; }
 
     [[nodiscard]] const TestbedConfig& config() const noexcept { return cfg_; }
+
+    // The Gilbert-Elliott segment, or nullptr when not configured.
+    [[nodiscard]] sim::GilbertElliottLink* ge() noexcept { return ge_.get(); }
+    // Passive Q-bit instrumentation, or nullptr when not configured.
+    [[nodiscard]] measure::QBitMarker* qbit_marker() noexcept { return qbit_marker_.get(); }
+    [[nodiscard]] measure::QBitObserver* qbit_observer() noexcept {
+        return qbit_observer_.get();
+    }
 
     // Upstream hops (empty in the paper's single-hop dumbbell).
     [[nodiscard]] const std::vector<std::unique_ptr<sim::QueueBase>>& upstream_hops()
@@ -75,8 +97,12 @@ private:
     sim::FlowDemux fwd_demux_;
     sim::FlowDemux rev_demux_;
     sim::CountingSink blackhole_;
+    std::unique_ptr<measure::QBitObserver> qbit_observer_;
+    std::unique_ptr<sim::GilbertElliottLink> ge_;
     std::unique_ptr<sim::QueueBase> bottleneck_;
     std::vector<std::unique_ptr<sim::QueueBase>> hops_;  // front() is the first hop
+    std::unique_ptr<measure::QBitMarker> qbit_marker_;
+    sim::PacketSink* forward_in_{nullptr};
     std::unique_ptr<sim::DelayLink> reverse_;
 };
 

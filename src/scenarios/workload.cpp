@@ -27,6 +27,7 @@ Workload::Workload(Testbed& tb, const WorkloadConfig& cfg) : cfg_{cfg}, rng_{cfg
 void Workload::build_infinite_tcp(Testbed& tb) {
     tcp::TcpConfig tcp_cfg;
     tcp_cfg.rwnd_segments = cfg_.tcp_rwnd_segments;
+    tcp_cfg.ecn = cfg_.tcp_ecn;
     for (int i = 0; i < cfg_.tcp_flows; ++i) {
         const auto flow = static_cast<sim::FlowId>(kTcpFlowBase + i);
         tcp_flows_.push_back(std::make_unique<tcp::TcpFlow>(
@@ -75,6 +76,7 @@ void Workload::build_web(Testbed& tb) {
     web.think_time_mean = cfg_.web_think_time;
     web.first_flow = kWebFlowBase;
     web.stop = cfg_.duration;
+    web.tcp.ecn = cfg_.tcp_ecn;
     web_ = std::make_unique<traffic::WebSessionGenerator>(
         tb.sched(), web, tb.forward_in(), tb.reverse_in(), tb.fwd_demux(), tb.rev_demux(),
         rng_.fork(0xe5));

@@ -27,9 +27,12 @@ struct WorkloadConfig {
     TimeNs duration{seconds_i(900)};  // paper: 15-minute runs
     std::uint64_t seed{1};
 
-    // infinite_tcp
+    // infinite_tcp / web
     int tcp_flows{40};
     std::int64_t tcp_rwnd_segments{256};  // paper §4.2
+    // ECN-capable TCP sources: AQM marks back them off without drops, so
+    // congestion episodes can exist with (almost) no loss signal.
+    bool tcp_ecn{false};
 
     // cbr_*
     // Standing CBR load as a fraction of capacity.  The paper's Figure 5

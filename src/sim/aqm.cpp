@@ -1,0 +1,200 @@
+#include "sim/aqm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/link.h"
+
+namespace bb::sim {
+
+// ---------------------------------------------------------------------------
+// PIE
+// ---------------------------------------------------------------------------
+
+PieQueue::PieQueue(Scheduler& sched, const LinkConfig& cfg, const PieParams& params,
+                   PacketSink& downstream, Rng rng)
+    : QueueBase{sched, cfg, downstream}, params_{params}, rng_{std::move(rng)} {
+    if (params_.update_interval <= TimeNs::zero()) {
+        throw std::invalid_argument{"PieQueue: update_interval must be > 0"};
+    }
+}
+
+QueueBase::Verdict PieQueue::admit(const Packet& pkt) {
+    // Controller activation (RFC 8033 §4.1): start servoing once the buffer
+    // is a third full.  The periodic update owns deactivation, so the event
+    // loop quiesces when traffic stops.
+    if (!active_ && queue_bytes() >= capacity_bytes() / 3) {
+        active_ = true;
+        drop_prob_ = 0.0;
+        qdelay_old_ = TimeNs::zero();
+        burst_left_ = params_.burst_allowance;
+        sched().schedule_after(params_.update_interval, [this] { update_probability(); });
+    }
+    if (!active_) return Verdict::accept;
+    if (burst_left_ > TimeNs::zero()) return Verdict::accept;
+
+    const TimeNs qdelay = queueing_delay();
+    // RFC 8033 §4.1 safeguards: don't shed load while the controller is
+    // barely on and delay is low, or when the queue holds almost nothing.
+    if (drop_prob_ < 0.2 && qdelay.ns() < params_.target_delay.ns() / 2) {
+        return Verdict::accept;
+    }
+    if (queue_bytes() <= 2 * pkt.size_bytes) return Verdict::accept;
+
+    if (rng_.bernoulli(drop_prob_)) {
+        if (params_.ecn && pkt.ecn_ect && drop_prob_ < params_.ecn_mark_ceiling) {
+            ++early_marks_;
+            return Verdict::mark;
+        }
+        ++early_drops_;
+        return Verdict::drop;
+    }
+    return Verdict::accept;
+}
+
+void PieQueue::update_probability() {
+    ++updates_;
+    const TimeNs qdelay = queueing_delay();
+    double p = params_.alpha * (qdelay - params_.target_delay).to_seconds() +
+               params_.beta * (qdelay - qdelay_old_).to_seconds();
+
+    // Auto-tune the adjustment to the operating point (RFC 8033 §4.2 table):
+    // tiny probabilities get proportionally tiny nudges, which stabilizes the
+    // controller across orders of magnitude.
+    if (drop_prob_ < 0.000001) {
+        p /= 2048.0;
+    } else if (drop_prob_ < 0.00001) {
+        p /= 512.0;
+    } else if (drop_prob_ < 0.0001) {
+        p /= 128.0;
+    } else if (drop_prob_ < 0.001) {
+        p /= 32.0;
+    } else if (drop_prob_ < 0.01) {
+        p /= 8.0;
+    } else if (drop_prob_ < 0.1) {
+        p /= 2.0;
+    }
+    drop_prob_ = std::clamp(drop_prob_ + p, 0.0, 1.0);
+
+    // Exponential decay while the line is idle (RFC 8033 §4.2).
+    if (qdelay == TimeNs::zero() && qdelay_old_ == TimeNs::zero()) {
+        drop_prob_ *= 0.98;
+    }
+    qdelay_old_ = qdelay;
+    if (burst_left_ > TimeNs::zero()) {
+        burst_left_ = std::max(TimeNs::zero(), burst_left_ - params_.update_interval);
+    }
+
+    // Deactivate once there is nothing left to control: queue drained for a
+    // full interval and the probability has decayed away.  Not rescheduling
+    // is what lets Scheduler::run() (run-until-empty) terminate.
+    if (drop_prob_ < 1e-6 && qdelay == TimeNs::zero() && qdelay_old_ == TimeNs::zero() &&
+        queue_bytes() == 0) {
+        active_ = false;
+        drop_prob_ = 0.0;
+        return;
+    }
+    sched().schedule_after(params_.update_interval, [this] { update_probability(); });
+}
+
+// ---------------------------------------------------------------------------
+// CoDel
+// ---------------------------------------------------------------------------
+
+CoDelQueue::CoDelQueue(Scheduler& sched, const LinkConfig& cfg, const CoDelParams& params,
+                       PacketSink& downstream)
+    : QueueBase{sched, cfg, downstream}, params_{params} {
+    if (params_.interval <= TimeNs::zero()) {
+        throw std::invalid_argument{"CoDelQueue: interval must be > 0"};
+    }
+}
+
+QueueBase::Verdict CoDelQueue::admit(const Packet&) {
+    return Verdict::accept;  // all CoDel policy happens at the head
+}
+
+TimeNs CoDelQueue::control_law(TimeNs t) const noexcept {
+    // interval / sqrt(count): drops accelerate while the standing queue
+    // persists, which is the signature sawtooth the property test pins.
+    const double scaled = static_cast<double>(params_.interval.ns()) /
+                          std::sqrt(static_cast<double>(std::max(count_, 1U)));
+    return t + TimeNs{static_cast<std::int64_t>(scaled)};
+}
+
+QueueBase::Verdict CoDelQueue::head_action(const Packet& pkt, TimeNs sojourn) {
+    const TimeNs now = sched().now();
+
+    // Is the standing queue above target?  A sojourn below target — or a
+    // queue too small to be worth controlling — resets the observation
+    // window (ACM Queue 2012, dodequeue()).
+    bool ok_to_drop = false;
+    if (sojourn < params_.target || queue_bytes() <= pkt.size_bytes) {
+        first_above_time_ = TimeNs::zero();
+    } else if (first_above_time_ == TimeNs::zero()) {
+        first_above_time_ = now + params_.interval;
+    } else if (now >= first_above_time_) {
+        ok_to_drop = true;
+    }
+
+    const Verdict shed = params_.ecn ? Verdict::mark : Verdict::drop;
+    // NOTE: when `shed` is mark, the base transmits the marked packet, so the
+    // sojourn stops growing via sender backoff rather than local discard —
+    // count/drop_next bookkeeping is identical either way.
+
+    if (dropping_) {
+        if (!ok_to_drop) {
+            dropping_ = false;
+            return Verdict::accept;
+        }
+        if (now >= drop_next_) {
+            ++count_;
+            drop_next_ = control_law(drop_next_);
+            return shed;
+        }
+        return Verdict::accept;
+    }
+
+    if (ok_to_drop) {
+        // Enter the dropping state.  If we were dropping recently, resume
+        // close to the drop rate we left off at instead of restarting from 1
+        // (the 16-interval memory of the reference pseudocode).
+        dropping_ = true;
+        const std::uint32_t delta = count_ - lastcount_;
+        count_ = (delta > 1 && now - drop_next_ < 16 * params_.interval) ? delta : 1;
+        lastcount_ = count_;
+        drop_next_ = control_law(now);
+        return shed;
+    }
+    return Verdict::accept;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<QueueBase> make_queue(Scheduler& sched, const QueueBase::LinkConfig& cfg,
+                                      PacketSink& downstream) {
+    switch (cfg.discipline) {
+        case QueueDiscipline::drop_tail:
+            // Consumes no randomness: drop-tail behaviour through the factory
+            // is bit-identical to constructing BottleneckQueue directly
+            // (golden_droptail_test pins this).
+            return std::make_unique<BottleneckQueue>(sched, cfg, downstream);
+        case QueueDiscipline::red:
+            // Seed salt matches the historical Testbed wiring so RED runs
+            // reproduce across the factory migration.
+            return std::make_unique<RedQueue>(sched, cfg, cfg.red, downstream,
+                                              Rng{cfg.seed ^ 0xAEDULL});
+        case QueueDiscipline::pie:
+            return std::make_unique<PieQueue>(sched, cfg, cfg.pie, downstream,
+                                              Rng{cfg.seed ^ 0xF1EULL});
+        case QueueDiscipline::codel:
+            return std::make_unique<CoDelQueue>(sched, cfg, cfg.codel, downstream);
+    }
+    throw std::invalid_argument{"make_queue: unknown discipline"};
+}
+
+}  // namespace bb::sim

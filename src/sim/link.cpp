@@ -19,19 +19,25 @@ RedQueue::RedQueue(Scheduler& sched, const LinkConfig& cfg, const RedParams& par
 
 void RedQueue::update_average() {
     if (was_idle_) {
-        // Age the average as if `m` empty-queue samples had been taken, one
-        // per typical packet transmission time (500 B).
+        // The queue has been empty since idle_since_ (any intervening arrival
+        // would have cleared the flag), so this is the paper's "queue empty at
+        // arrival" branch: age the average as if `m` empty-queue samples had
+        // been taken, one per typical packet transmission time (500 B), and
+        // take NO regular EWMA sample — aging IS the update for this arrival
+        // (Floyd/Jacobson 1993, Figure 2).  Folding in an extra w_q·0 sample
+        // here would double-count the idle period.
         const TimeNs idle = sched().now() - idle_since_;
         const double tx_s = 500.0 * 8.0 / static_cast<double>(rate_bps());
         const double m = std::max(0.0, idle.to_seconds() / tx_s);
         avg_ *= std::pow(1.0 - params_.weight, m);
         was_idle_ = false;
+        return;
     }
     avg_ = (1.0 - params_.weight) * avg_ +
            params_.weight * static_cast<double>(queue_bytes());
 }
 
-bool RedQueue::admit(const Packet& pkt) {
+QueueBase::Verdict RedQueue::admit(const Packet& pkt) {
     update_average();
 
     const double min_th = params_.min_threshold * static_cast<double>(capacity_bytes());
@@ -40,7 +46,7 @@ bool RedQueue::admit(const Packet& pkt) {
     if (buffer_overflows(pkt) || avg_ >= max_th) {
         ++forced_drops_;
         count_since_drop_ = 0;
-        return false;
+        return Verdict::drop;
     }
     if (avg_ > min_th) {
         ++count_since_drop_;
@@ -49,14 +55,20 @@ bool RedQueue::admit(const Packet& pkt) {
         const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
         const double pa = std::min(1.0, pb / std::max(1e-9, denom));
         if (rng_.bernoulli(pa)) {
-            ++early_drops_;
             count_since_drop_ = 0;
-            return false;
+            // Early (probabilistic) congestion signals can ride on ECN
+            // instead of dropping; forced drops above never convert.
+            if (params_.ecn && pkt.ecn_ect) {
+                ++early_marks_;
+                return Verdict::mark;
+            }
+            ++early_drops_;
+            return Verdict::drop;
         }
-        return true;
+        return Verdict::accept;
     }
     count_since_drop_ = -1;
-    return true;
+    return Verdict::accept;
 }
 
 }  // namespace bb::sim

@@ -49,8 +49,8 @@ public:
         : QueueBase{sched, cfg, downstream} {}
 
 protected:
-    bool admit(const Packet&) override {
-        return true;  // the base's physical-buffer check is the only rule
+    Verdict admit(const Packet&) override {
+        return Verdict::accept;  // the base's physical-buffer check is the only rule
     }
 };
 
@@ -59,12 +59,9 @@ protected:
 // (paper §7 raises exactly this "more complex environments" question).
 class RedQueue final : public QueueBase {
 public:
-    struct RedParams {
-        double min_threshold{0.25};  // of capacity_bytes
-        double max_threshold{0.75};  // of capacity_bytes
-        double max_drop_probability{0.10};
-        double weight{0.002};  // EWMA weight w_q
-    };
+    // Parameters live at namespace scope (queue_base.h) so LinkConfig can
+    // embed them; the nested alias keeps existing call sites compiling.
+    using RedParams = bb::sim::RedParams;
 
     RedQueue(Scheduler& sched, const LinkConfig& cfg, const RedParams& params,
              PacketSink& downstream, Rng rng);
@@ -72,9 +69,12 @@ public:
     [[nodiscard]] double average_queue_bytes() const noexcept { return avg_; }
     [[nodiscard]] std::uint64_t early_drops() const noexcept { return early_drops_; }
     [[nodiscard]] std::uint64_t forced_drops() const noexcept { return forced_drops_; }
+    // Early "drops" converted to CE marks (params.ecn); also counted in the
+    // base's marks().
+    [[nodiscard]] std::uint64_t early_marks() const noexcept { return early_marks_; }
 
 protected:
-    bool admit(const Packet& pkt) override;
+    Verdict admit(const Packet& pkt) override;
 
 private:
     void update_average();
@@ -87,6 +87,7 @@ private:
     bool was_idle_{true};
     std::uint64_t early_drops_{0};
     std::uint64_t forced_drops_{0};
+    std::uint64_t early_marks_{0};
 };
 
 }  // namespace bb::sim

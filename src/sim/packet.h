@@ -32,6 +32,15 @@ struct Packet {
     std::int32_t probe_pkt{0};  // index of this packet within a multi-packet probe
     TimeNs sent_at{TimeNs::zero()};  // stamped when the source emitted it
     TimeNs tstamp_echo{TimeNs::zero()};  // TCP timestamp echo (ACKs), for RTT sampling
+    // ECN codepoints (RFC 3168): ECT is set by an ECN-capable source, CE by an
+    // AQM queue marking instead of dropping, and ECE on ACKs echoing CE back.
+    bool ecn_ect{false};   // ECN-capable transport
+    bool ecn_ce{false};    // congestion experienced (set by the queue)
+    bool ecn_echo{false};  // ACK-borne echo of a received CE mark
+    // Passive in-band loss signal: a square wave the sender flips every
+    // fixed-size block of packets (the Q-bit of the spin-bit family); an
+    // on-path observer counts arrivals per phase to infer upstream loss.
+    bool qbit{false};
 };
 
 // Anything that can receive packets.  Receivers, queues and links all

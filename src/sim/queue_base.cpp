@@ -25,6 +25,10 @@ obs::Counter& departures_ctr() {
     static obs::Counter& c = obs::counter("sim.queue.departures");
     return c;
 }
+obs::Counter& marks_ctr() {
+    static obs::Counter& c = obs::counter("sim.queue.marks");
+    return c;
+}
 
 void refresh_loss_rate() {
     static obs::Gauge& g = obs::gauge("sim.queue.loss_rate");
@@ -47,41 +51,71 @@ void QueueBase::accept(const Packet& pkt) {
     arrivals_ctr().inc();
     // The policy decides first (and updates its own state, e.g. RED's EWMA);
     // the physical-buffer check is enforced unconditionally afterwards.
-    const bool admitted = admit(pkt);
-    if (!admitted || buffer_overflows(pkt)) {
-        ++drops_;
-        drops_ctr().inc();
-        if (obs::enabled()) refresh_loss_rate();
-        const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
-        for (auto& h : drop_hooks_) h(ev);
+    Verdict verdict = admit(pkt);
+    // A CE mark can only ride on an ECN-capable packet; for everything else
+    // the congestion signal degrades to the drop it replaces.
+    if (verdict == Verdict::mark && !pkt.ecn_ect) verdict = Verdict::drop;
+    if (verdict == Verdict::drop || buffer_overflows(pkt)) {
+        drop_packet(pkt, /*at_head=*/false);
         return;
     }
-    fifo_.push_back(pkt);
-    queued_bytes_ += pkt.size_bytes;
+    Queued entry{pkt, sched_->now()};
+    if (verdict == Verdict::mark) apply_mark(entry.pkt);
+    queued_bytes_ += entry.pkt.size_bytes;
     enqueues_ctr().inc();
     if ((arrivals_ & 1023U) == 0 && obs::enabled()) refresh_loss_rate();
-    const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
+    const QueueEvent ev{entry.pkt, entry.enqueued_at, queued_bytes_};
+    fifo_.push_back(entry);
     for (auto& h : enqueue_hooks_) h(ev);
     if (!transmitting_) start_transmission();
 }
 
+void QueueBase::drop_packet(const Packet& pkt, bool at_head) {
+    ++drops_;
+    if (at_head) ++head_drops_;
+    drops_ctr().inc();
+    if (obs::enabled()) refresh_loss_rate();
+    const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
+    for (auto& h : drop_hooks_) h(ev);
+}
+
+void QueueBase::apply_mark(Packet& pkt) {
+    pkt.ecn_ce = true;
+    ++marks_;
+    marks_ctr().inc();
+    // Occupancy reported excludes the marked packet itself (it is either not
+    // yet enqueued, at the tail, or already popped, at the head).
+    const QueueEvent ev{pkt, sched_->now(), queued_bytes_};
+    for (auto& h : mark_hooks_) h(ev);
+}
+
 void QueueBase::start_transmission() {
-    if (fifo_.empty()) {
-        transmitting_ = false;
-        in_flight_bytes_ = 0;
+    while (!fifo_.empty()) {
+        // Head policy: sojourn-time AQMs (CoDel) drop or mark here, possibly
+        // discarding several consecutive heads before one is transmitted.
+        const TimeNs sojourn = sched_->now() - fifo_.front().enqueued_at;
+        Verdict verdict = head_action(fifo_.front().pkt, sojourn);
+        Packet pkt = fifo_.front().pkt;
+        fifo_.pop_front();
+        queued_bytes_ -= pkt.size_bytes;
+        if (verdict == Verdict::mark && !pkt.ecn_ect) verdict = Verdict::drop;
+        if (verdict == Verdict::drop) {
+            drop_packet(pkt, /*at_head=*/true);
+            continue;
+        }
+        if (verdict == Verdict::mark) apply_mark(pkt);
+        transmitting_ = true;
+        in_flight_bytes_ = pkt.size_bytes;
+        const TimeNs tx = transmission_time(pkt.size_bytes, cfg_.rate_bps);
+        // Park the in-flight packet in the per-replica pool so the completion
+        // event stays inline (16-byte capture instead of 80).
+        const PacketPool::Handle h = sched_->packet_pool().put(pkt);
+        sched_->schedule_after(
+            tx, [this, h] { finish_transmission(sched_->packet_pool().take(h)); });
         return;
     }
-    transmitting_ = true;
-    Packet pkt = fifo_.front();
-    fifo_.pop_front();
-    queued_bytes_ -= pkt.size_bytes;
-    in_flight_bytes_ = pkt.size_bytes;
-    const TimeNs tx = transmission_time(pkt.size_bytes, cfg_.rate_bps);
-    // Park the in-flight packet in the per-replica pool so the completion
-    // event stays inline (16-byte capture instead of 80).
-    const PacketPool::Handle h = sched_->packet_pool().put(pkt);
-    sched_->schedule_after(
-        tx, [this, h] { finish_transmission(sched_->packet_pool().take(h)); });
+    transmitting_ = false;
+    in_flight_bytes_ = 0;
 }
 
 void QueueBase::finish_transmission(Packet pkt) {

@@ -18,6 +18,12 @@ TcpReceiver::~TcpReceiver() { disarm_delayed_ack(); }
 void TcpReceiver::accept(const sim::Packet& pkt) {
     if (pkt.kind != sim::PacketKind::data || pkt.flow != flow_) return;
     ++segments_;
+    // CE mark from an AQM on the path: latch it for the next ACK.  (No CWR
+    // handshake here — the sender's once-per-RTT guard plays that role.)
+    if (pkt.ecn_ce) {
+        ++ce_received_;
+        ce_pending_ = true;
+    }
 
     const std::int64_t start = pkt.seq;
     const std::int64_t len = pkt.size_bytes;  // payload length == wire size here
@@ -66,6 +72,8 @@ void TcpReceiver::send_ack(TimeNs echo) {
     ack.ack_seq = rcv_next_;
     ack.sent_at = sched_->now();
     ack.tstamp_echo = echo;
+    ack.ecn_echo = ce_pending_;
+    ce_pending_ = false;
     ++acks_sent_;
     ack_path_->accept(ack);
 }

@@ -39,6 +39,8 @@ public:
     [[nodiscard]] std::uint64_t segments_received() const noexcept { return segments_; }
     [[nodiscard]] std::uint64_t out_of_order_segments() const noexcept { return ooo_; }
     [[nodiscard]] std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+    // CE-marked data segments seen; each is echoed (ecn_echo) on the next ACK.
+    [[nodiscard]] std::uint64_t ce_received() const noexcept { return ce_received_; }
 
 private:
     void send_ack(TimeNs echo);
@@ -55,6 +57,8 @@ private:
     std::uint64_t segments_{0};
     std::uint64_t ooo_{0};
     std::uint64_t acks_sent_{0};
+    std::uint64_t ce_received_{0};
+    bool ce_pending_{false};
 
     int unacked_segments_{0};
     bool delack_armed_{false};

@@ -56,6 +56,7 @@ void TcpSender::transmit(std::int64_t seq, bool retransmission) {
     pkt.size_bytes = cfg_.segment_bytes;
     pkt.seq = seq;
     pkt.sent_at = sched_->now();
+    pkt.ecn_ect = cfg_.ecn;
     ++segments_sent_;
     if (retransmission) ++retransmits_;
     data_path_->accept(pkt);
@@ -64,6 +65,16 @@ void TcpSender::transmit(std::int64_t seq, bool retransmission) {
 
 void TcpSender::accept(const sim::Packet& pkt) {
     if (pkt.kind != sim::PacketKind::ack || pkt.flow != flow_ || finished_) return;
+    // Echoed CE mark: multiplicative decrease without a loss, at most once
+    // per RTT (until the window in force at the last reduction is acked).
+    // Loss recovery already halves the window, so it takes precedence.
+    if (cfg_.ecn && pkt.ecn_echo && !in_recovery_ && snd_una_ >= ecn_cwr_end_) {
+        const std::int64_t flight_seg = flight_bytes() / cfg_.segment_bytes;
+        ssthresh_segments_ = std::max<std::int64_t>(flight_seg / 2, 2);
+        cwnd_ = static_cast<double>(ssthresh_segments_);
+        ecn_cwr_end_ = snd_nxt_;
+        ++ecn_responses_;
+    }
     if (pkt.ack_seq > snd_una_) {
         handle_new_ack(pkt.ack_seq, pkt.tstamp_echo);
     } else if (pkt.ack_seq == snd_una_ && flight_bytes() > 0) {

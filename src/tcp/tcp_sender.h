@@ -39,6 +39,10 @@ struct TcpConfig {
     int ack_every{1};
     TimeNs delayed_ack_timeout{milliseconds(200)};
     RttEstimator::Config rtt{};
+    // ECN (RFC 3168, simplified): data segments carry ECT, the receiver
+    // echoes CE marks on ACKs, and the sender halves its window at most once
+    // per RTT in response — congestion backoff without a lost packet.
+    bool ecn{false};
 };
 
 class TcpSender final : public sim::PacketSink {
@@ -67,6 +71,8 @@ public:
     [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
     [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
     [[nodiscard]] std::uint64_t fast_retransmits() const noexcept { return fast_rtx_; }
+    // Window reductions triggered by an echoed CE mark (at most one per RTT).
+    [[nodiscard]] std::uint64_t ecn_responses() const noexcept { return ecn_responses_; }
     [[nodiscard]] const RttEstimator& rtt() const noexcept { return rtt_; }
 
 private:
@@ -100,6 +106,10 @@ private:
     std::int64_t recover_{0};          // highest seq outstanding when loss detected
     bool started_{false};
     bool finished_{false};
+    // End of the window in force at the last ECN reduction; further echoes
+    // are ignored until snd_una_ passes it (one reduction per RTT).
+    std::int64_t ecn_cwr_end_{-1};
+    std::uint64_t ecn_responses_{0};
 
     RttEstimator rtt_;
     sim::EventId rto_event_{0};

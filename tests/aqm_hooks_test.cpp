@@ -1,0 +1,185 @@
+// QueueBase hook-dispatch coverage across all four disciplines: every packet
+// fires exactly one terminal hook (drop or dequeue), enqueue/mark hooks fire
+// at most once per packet, hook counts equal the member counters, and the
+// process-wide metrics-registry counters advance by exactly the same amounts.
+// Runs under the tsan label: the obs counters are the sharded concurrent
+// ones, and this exercises their single-threaded hot path under the
+// sanitizer build too.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "obs/control.h"
+#include "obs/metrics.h"
+#include "sim/aqm.h"
+#include "sim/link.h"
+#include "sim/queue_base.h"
+
+namespace bb {
+namespace {
+
+struct PerPacket {
+    int enqueued{0};
+    int dropped{0};
+    int dequeued{0};
+    int marked{0};
+};
+
+struct RunResult {
+    std::unordered_map<std::uint64_t, PerPacket> per_id;
+    std::uint64_t enq_hooks{0};
+    std::uint64_t drop_hooks{0};
+    std::uint64_t deq_hooks{0};
+    std::uint64_t mark_hooks{0};
+    std::uint64_t arrivals{0};
+    std::uint64_t drops{0};
+    std::uint64_t departures{0};
+    std::uint64_t marks{0};
+    std::uint64_t head_drops{0};
+    // Metrics-registry deltas over the run.
+    std::uint64_t ctr_arrivals{0};
+    std::uint64_t ctr_enqueues{0};
+    std::uint64_t ctr_drops{0};
+    std::uint64_t ctr_departures{0};
+    std::uint64_t ctr_marks{0};
+};
+
+RunResult drive(sim::QueueDiscipline discipline, bool ecn) {
+    obs::set_enabled(true);
+    obs::Counter& arrivals_ctr = obs::counter("sim.queue.arrivals");
+    obs::Counter& enqueues_ctr = obs::counter("sim.queue.enqueues");
+    obs::Counter& drops_ctr = obs::counter("sim.queue.drops");
+    obs::Counter& departures_ctr = obs::counter("sim.queue.departures");
+    obs::Counter& marks_ctr = obs::counter("sim.queue.marks");
+    const std::uint64_t a0 = arrivals_ctr.value();
+    const std::uint64_t e0 = enqueues_ctr.value();
+    const std::uint64_t d0 = drops_ctr.value();
+    const std::uint64_t p0 = departures_ctr.value();
+    const std::uint64_t m0 = marks_ctr.value();
+
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::QueueBase::LinkConfig cfg;
+    cfg.rate_bps = 8'000'000;  // 1000 B <=> 1 ms
+    cfg.prop_delay = milliseconds(1);
+    cfg.capacity_bytes = 50'000;  // small buffer so every discipline drops
+    cfg.discipline = discipline;
+    cfg.red.ecn = ecn;
+    cfg.pie.ecn = ecn;
+    cfg.pie.burst_allowance = TimeNs::zero();
+    cfg.codel.ecn = ecn;
+    cfg.seed = 17;
+    const auto queue = sim::make_queue(sched, cfg, sink);
+
+    RunResult r;
+    queue->on_enqueue([&](const sim::QueueEvent& ev) {
+        ++r.enq_hooks;
+        ++r.per_id[ev.pkt.id].enqueued;
+    });
+    queue->on_drop([&](const sim::QueueEvent& ev) {
+        ++r.drop_hooks;
+        ++r.per_id[ev.pkt.id].dropped;
+    });
+    queue->on_dequeue([&](const sim::QueueEvent& ev) {
+        ++r.deq_hooks;
+        ++r.per_id[ev.pkt.id].dequeued;
+    });
+    queue->on_mark([&](const sim::QueueEvent& ev) {
+        ++r.mark_hooks;
+        ++r.per_id[ev.pkt.id].marked;
+    });
+
+    // 2x overload for 2 s, ECT set so ECN disciplines can mark.
+    struct Pump {
+        sim::Scheduler* s;
+        sim::PacketSink* out;
+        bool ect;
+        int remaining;
+        std::uint64_t id{0};
+        void step() {
+            if (remaining-- <= 0) return;
+            sim::Packet p;
+            p.id = ++id;
+            p.size_bytes = 1000;
+            p.ecn_ect = ect;
+            out->accept(p);
+            s->schedule_after(microseconds(500), [this] { step(); });
+        }
+    } pump{&sched, queue.get(), ecn, 4000};
+    sched.schedule_at(TimeNs::zero(), [&pump] { pump.step(); });
+    sched.run();
+
+    r.arrivals = queue->arrivals();
+    r.drops = queue->drops();
+    r.departures = queue->departures();
+    r.marks = queue->marks();
+    r.head_drops = queue->head_drops();
+    r.ctr_arrivals = arrivals_ctr.value() - a0;
+    r.ctr_enqueues = enqueues_ctr.value() - e0;
+    r.ctr_drops = drops_ctr.value() - d0;
+    r.ctr_departures = departures_ctr.value() - p0;
+    r.ctr_marks = marks_ctr.value() - m0;
+    return r;
+}
+
+void check_exactly_once(const RunResult& r, bool expect_marks) {
+    EXPECT_EQ(r.arrivals, 4000u);
+    EXPECT_GT(r.drops, 0u) << "the overload must produce drops";
+    // Hook counts match the member counters one for one.
+    EXPECT_EQ(r.drop_hooks, r.drops);
+    EXPECT_EQ(r.deq_hooks, r.departures);
+    EXPECT_EQ(r.mark_hooks, r.marks);
+    // Only tail drops skip the FIFO; head drops were enqueued first.
+    EXPECT_EQ(r.enq_hooks, r.arrivals - (r.drops - r.head_drops));
+    // Every arrival terminates in exactly one of {drop, dequeue}.
+    EXPECT_EQ(r.drops + r.departures, r.arrivals);
+    for (const auto& [id, p] : r.per_id) {
+        EXPECT_EQ(p.dropped + p.dequeued, 1) << "packet " << id;
+        EXPECT_LE(p.enqueued, 1) << "packet " << id;
+        EXPECT_LE(p.marked, 1) << "packet " << id;
+        if (p.dequeued == 1) {
+            EXPECT_EQ(p.enqueued, 1) << "packet " << id;
+        }
+        if (p.marked == 1) {
+            EXPECT_EQ(p.dequeued, 1) << "marked packets transmit, id " << id;
+        }
+    }
+    // Registry counters moved in lockstep with the member counters.
+    EXPECT_EQ(r.ctr_arrivals, r.arrivals);
+    EXPECT_EQ(r.ctr_enqueues, r.enq_hooks);
+    EXPECT_EQ(r.ctr_drops, r.drops);
+    EXPECT_EQ(r.ctr_departures, r.departures);
+    EXPECT_EQ(r.ctr_marks, r.marks);
+    if (expect_marks) {
+        EXPECT_GT(r.marks, 0u);
+    } else {
+        EXPECT_EQ(r.marks, 0u);
+    }
+}
+
+TEST(AqmHooks, DropTailFiresEachHookExactlyOnce) {
+    check_exactly_once(drive(sim::QueueDiscipline::drop_tail, false), false);
+}
+
+TEST(AqmHooks, RedFiresEachHookExactlyOnce) {
+    check_exactly_once(drive(sim::QueueDiscipline::red, false), false);
+}
+
+TEST(AqmHooks, RedEcnMarkHooksFireOncePerMark) {
+    check_exactly_once(drive(sim::QueueDiscipline::red, true), true);
+}
+
+TEST(AqmHooks, PieFiresEachHookExactlyOnce) {
+    check_exactly_once(drive(sim::QueueDiscipline::pie, false), false);
+}
+
+TEST(AqmHooks, PieEcnMarkHooksFireOncePerMark) {
+    check_exactly_once(drive(sim::QueueDiscipline::pie, true), true);
+}
+
+TEST(AqmHooks, CoDelFiresEachHookExactlyOnce) {
+    check_exactly_once(drive(sim::QueueDiscipline::codel, false), false);
+}
+
+}  // namespace
+}  // namespace bb

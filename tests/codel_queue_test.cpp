@@ -1,0 +1,197 @@
+// CoDel discipline tests (Nichols/Jacobson, ACM Queue 2012).  The central
+// property test pins the interval/sqrt(count) drop schedule: with a standing
+// queue held constant by arrivals at exactly the service rate, successive
+// head drops must be spaced interval/sqrt(k) apart (up to the 1 ms
+// transmission quantum of the test link).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/aqm.h"
+#include "sim/queue_base.h"
+
+namespace bb {
+namespace {
+
+constexpr std::int64_t kRate = 8'000'000;    // 1000 B <=> 1 ms
+constexpr std::int64_t kCapacity = 100'000;  // 100 packets; never reached here
+
+sim::QueueBase::LinkConfig link_cfg() {
+    sim::QueueBase::LinkConfig cfg;
+    cfg.rate_bps = kRate;
+    cfg.prop_delay = milliseconds(1);
+    cfg.capacity_bytes = kCapacity;
+    return cfg;
+}
+
+class Pump {
+public:
+    Pump(sim::Scheduler& sched, sim::PacketSink& out, TimeNs start, TimeNs gap, int count,
+         bool ect = false)
+        : sched_{&sched}, out_{&out}, gap_{gap}, remaining_{count}, ect_{ect} {
+        sched_->schedule_at(start, [this] { step(); });
+    }
+
+private:
+    void step() {
+        if (remaining_-- <= 0) return;
+        sim::Packet p;
+        p.id = 1'000'000 + ++id_;
+        p.size_bytes = 1000;
+        p.ecn_ect = ect_;
+        out_->accept(p);
+        sched_->schedule_after(gap_, [this] { step(); });
+    }
+
+    sim::Scheduler* sched_;
+    sim::PacketSink* out_;
+    TimeNs gap_;
+    int remaining_;
+    bool ect_;
+    std::uint64_t id_{0};
+};
+
+// Initial burst that builds the standing queue; the caller's pump then sends
+// arrivals at exactly the service rate, so the queue length changes only when
+// CoDel drops a head.
+void standing_queue_workload(sim::Scheduler& sched, sim::QueueBase& queue, int burst) {
+    sched.schedule_at(TimeNs::zero(), [&queue, burst] {
+        for (int i = 0; i < burst; ++i) {
+            sim::Packet p;
+            p.id = static_cast<std::uint64_t>(i) + 1;
+            p.size_bytes = 1000;
+            queue.accept(p);
+        }
+    });
+}
+
+TEST(CoDelQueue, RejectsNonPositiveInterval) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::CoDelParams params;
+    params.interval = TimeNs::zero();
+    EXPECT_THROW(sim::CoDelQueue(sched, link_cfg(), params, sink),
+                 std::invalid_argument);
+}
+
+TEST(CoDelQueue, NoDropsWhileSojournBelowTarget) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::CoDelQueue queue{sched, link_cfg(), sim::CoDelParams{}, sink};
+    Pump pump{sched, queue, TimeNs::zero(), milliseconds(2), 2000};  // 50% load
+    sched.run();
+    EXPECT_EQ(queue.drops(), 0u);
+    EXPECT_FALSE(queue.dropping());
+    EXPECT_EQ(queue.arrivals(), queue.departures());
+}
+
+TEST(CoDelQueue, FirstDropAfterSojournAboveTargetForOneInterval) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::CoDelQueue queue{sched, link_cfg(), sim::CoDelParams{}, sink};
+    std::vector<TimeNs> drop_times;
+    queue.on_drop([&](const sim::QueueEvent& ev) { drop_times.push_back(ev.at); });
+    Pump pump{sched, queue, microseconds(500), milliseconds(1), 3000};
+    standing_queue_workload(sched, queue, 30);
+    sched.run();
+    ASSERT_FALSE(drop_times.empty());
+    // Head sojourn first crosses target (5 ms) at the 5th transmission; the
+    // first drop fires one full interval (100 ms) later, modulo the 1 ms
+    // dequeue quantum.
+    EXPECT_GE(drop_times.front(), milliseconds(100));
+    EXPECT_LE(drop_times.front(), milliseconds(120));
+    EXPECT_EQ(queue.drops(), queue.head_drops()) << "all drops must be head drops";
+}
+
+TEST(CoDelQueue, DropScheduleFollowsInverseSqrtLaw) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::CoDelQueue queue{sched, link_cfg(), sim::CoDelParams{}, sink};
+    std::vector<TimeNs> drop_times;
+    queue.on_drop([&](const sim::QueueEvent& ev) { drop_times.push_back(ev.at); });
+    Pump pump{sched, queue, microseconds(500), milliseconds(1), 3000};
+    standing_queue_workload(sched, queue, 30);
+    sched.run();
+    ASSERT_GE(drop_times.size(), 9u);
+    const double interval_s = milliseconds(100).to_seconds();
+    for (std::size_t k = 1; k <= 8; ++k) {
+        const double gap = (drop_times[k] - drop_times[k - 1]).to_seconds();
+        const double expected = interval_s / std::sqrt(static_cast<double>(k));
+        // One transmission quantum (1 ms) of realization slack on each
+        // endpoint plus control_law rounding.
+        EXPECT_NEAR(gap, expected, 0.003)
+            << "gap after drop " << k << " deviates from interval/sqrt(count)";
+        if (k >= 2) {
+            const double prev_gap = (drop_times[k - 1] - drop_times[k - 2]).to_seconds();
+            EXPECT_LE(gap, prev_gap + 0.002) << "drop spacing must tighten over the episode";
+        }
+    }
+}
+
+TEST(CoDelQueue, ExitsDroppingOnceStandingQueueDissolves) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::CoDelQueue queue{sched, link_cfg(), sim::CoDelParams{}, sink};
+    std::vector<TimeNs> drop_times;
+    queue.on_drop([&](const sim::QueueEvent& ev) { drop_times.push_back(ev.at); });
+    Pump pump{sched, queue, microseconds(500), milliseconds(1), 3000};
+    standing_queue_workload(sched, queue, 30);
+    sched.run();
+    // Each drop permanently shortens the standing queue by one packet
+    // (arrivals exactly match the service rate), so once the sojourn falls
+    // below target the episode ends: roughly 25 drops, all within ~1 s.
+    EXPECT_GE(queue.head_drops(), 15u);
+    EXPECT_LE(queue.head_drops(), 35u);
+    EXPECT_FALSE(queue.dropping());
+    ASSERT_FALSE(drop_times.empty());
+    EXPECT_LT(drop_times.back(), seconds_i(2)) << "dropping must stop well before the end";
+    EXPECT_EQ(queue.arrivals(), queue.drops() + queue.departures());
+}
+
+TEST(CoDelQueue, EcnMarksHeadInsteadOfDropping) {
+    sim::Scheduler sched;
+    std::uint64_t delivered_ce = 0;
+    class CeCounter final : public sim::PacketSink {
+    public:
+        explicit CeCounter(std::uint64_t& ce) : ce_{&ce} {}
+        void accept(const sim::Packet& p) override {
+            if (p.ecn_ce) ++*ce_;
+        }
+
+    private:
+        std::uint64_t* ce_;
+    } sink{delivered_ce};
+    sim::CoDelParams params;
+    params.ecn = true;
+    sim::CoDelQueue queue{sched, link_cfg(), params, sink};
+    Pump pump{sched, queue, microseconds(500), milliseconds(1), 3000, /*ect=*/true};
+    standing_queue_workload(sched, queue, 30);
+    sched.run();
+    // Marked heads are transmitted, so the standing queue never dissolves and
+    // the mark schedule keeps accelerating for the whole run.
+    EXPECT_GT(queue.marks(), 50u);
+    EXPECT_EQ(queue.drops(), 0u);
+    EXPECT_EQ(queue.head_drops(), 0u);
+    EXPECT_EQ(delivered_ce, queue.marks());
+    EXPECT_GT(queue.drop_count(), 10u) << "count bookkeeping must advance on marks too";
+}
+
+TEST(CoDelQueue, DeterministicAcrossIdenticalRuns) {
+    const auto run = [&] {
+        sim::Scheduler sched;
+        sim::CountingSink sink;
+        sim::CoDelQueue queue{sched, link_cfg(), sim::CoDelParams{}, sink};
+        std::vector<std::int64_t> drop_ns;
+        queue.on_drop([&](const sim::QueueEvent& ev) { drop_ns.push_back(ev.at.ns()); });
+        Pump pump{sched, queue, microseconds(500), milliseconds(1), 3000};
+        standing_queue_workload(sched, queue, 30);
+        sched.run();
+        return drop_ns;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace bb

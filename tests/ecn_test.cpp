@@ -1,0 +1,214 @@
+// ECN path tests (RFC 3168 simplified): ECT on data, CE applied by the AQM,
+// echo on ACKs, once-per-RTT sender backoff, CE-aware congestion marking in
+// the BADABING analysis, and the whole loop end to end through a RED
+// bottleneck.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/marking.h"
+#include "scenarios/experiment.h"
+#include "sim/link.h"
+#include "tcp/tcp_receiver.h"
+#include "tcp/tcp_sender.h"
+
+namespace bb {
+namespace {
+
+class PacketRecorder final : public sim::PacketSink {
+public:
+    void accept(const sim::Packet& pkt) override { packets_.push_back(pkt); }
+    [[nodiscard]] const std::vector<sim::Packet>& packets() const noexcept {
+        return packets_;
+    }
+
+private:
+    std::vector<sim::Packet> packets_;
+};
+
+sim::Packet make_ack(sim::FlowId flow, std::int64_t ack_seq, bool echo) {
+    sim::Packet ack;
+    ack.flow = flow;
+    ack.kind = sim::PacketKind::ack;
+    ack.size_bytes = 40;
+    ack.ack_seq = ack_seq;
+    ack.ecn_echo = echo;
+    return ack;
+}
+
+TEST(TcpEcn, DataCarriesEctOnlyWhenEnabled) {
+    for (const bool ecn : {false, true}) {
+        sim::Scheduler sched;
+        PacketRecorder path;
+        tcp::TcpConfig cfg;
+        cfg.ecn = ecn;
+        tcp::TcpSender sender{sched, 1, cfg, path};
+        sender.start(TimeNs::zero());
+        sched.run_until(milliseconds(1));
+        ASSERT_GE(path.packets().size(), 2u);
+        for (const auto& pkt : path.packets()) {
+            EXPECT_EQ(pkt.ecn_ect, ecn);
+            EXPECT_FALSE(pkt.ecn_ce) << "CE is the queue's to set, never the sender's";
+        }
+    }
+}
+
+TEST(TcpEcn, ReceiverEchoesCeOnNextAckThenClears) {
+    sim::Scheduler sched;
+    PacketRecorder acks;
+    tcp::TcpReceiver receiver{sched, 9, acks};
+
+    sim::Packet data;
+    data.flow = 9;
+    data.kind = sim::PacketKind::data;
+    data.size_bytes = 1500;
+    data.seq = 0;
+    data.ecn_ect = true;
+    data.ecn_ce = true;
+    receiver.accept(data);
+
+    data.seq = 1500;
+    data.ecn_ce = false;
+    receiver.accept(data);
+    sched.run();
+
+    ASSERT_EQ(acks.packets().size(), 2u);
+    EXPECT_TRUE(acks.packets()[0].ecn_echo) << "CE must be echoed on the next ACK";
+    EXPECT_FALSE(acks.packets()[1].ecn_echo) << "the echo clears once sent";
+    EXPECT_EQ(receiver.ce_received(), 1u);
+}
+
+TEST(TcpEcn, SenderBacksOffOnEchoAtMostOncePerWindow) {
+    sim::Scheduler sched;
+    PacketRecorder path;
+    tcp::TcpConfig cfg;
+    cfg.ecn = true;
+    tcp::TcpSender sender{sched, 1, cfg, path};
+    sender.start(TimeNs::zero());
+    sched.run_until(milliseconds(1));  // initial window (2 segments) in flight
+
+    const double cwnd_before = sender.cwnd_segments();
+    sender.accept(make_ack(1, 1500, /*echo=*/true));
+    EXPECT_EQ(sender.ecn_responses(), 1u);
+    EXPECT_LE(sender.cwnd_segments(), cwnd_before + 0.51)
+        << "the echoed CE must cancel the slow-start growth this ACK would bring";
+
+    // A second echo inside the same window (snd_una still below the window
+    // edge in force at the reduction) must be ignored.
+    sender.accept(make_ack(1, 1500, /*echo=*/true));
+    EXPECT_EQ(sender.ecn_responses(), 1u);
+
+    // Once the window in force at the reduction is fully acknowledged, a
+    // fresh echo counts as a new congestion signal.
+    sender.accept(make_ack(1, 3000, /*echo=*/false));
+    sender.accept(make_ack(1, 4500, /*echo=*/true));
+    EXPECT_EQ(sender.ecn_responses(), 2u);
+}
+
+TEST(TcpEcn, NonEcnSenderIgnoresEcho) {
+    sim::Scheduler sched;
+    PacketRecorder path;
+    tcp::TcpSender sender{sched, 1, tcp::TcpConfig{}, path};  // ecn defaults off
+    sender.start(TimeNs::zero());
+    sched.run_until(milliseconds(1));
+    sender.accept(make_ack(1, 1500, /*echo=*/true));
+    EXPECT_EQ(sender.ecn_responses(), 0u);
+    EXPECT_DOUBLE_EQ(sender.cwnd_segments(), 3.0) << "plain slow start must proceed";
+}
+
+TEST(Marking, CeMarkedProbeCongestsItsSlotWhenUseCeIsOn) {
+    // Three probes: clean, CE-marked (nothing lost), clean.  With use_ce the
+    // middle slot is congested by_ce; without it the trace has no loss at all
+    // and nothing is congested.
+    std::vector<core::ProbeOutcome> probes;
+    for (int i = 0; i < 3; ++i) {
+        core::ProbeOutcome po;
+        po.slot = i;
+        po.send_time = milliseconds(5) * i;
+        po.packets_sent = 3;
+        po.packets_lost = 0;
+        po.any_received = true;
+        po.max_owd = milliseconds(50);
+        po.ce_marked = (i == 1);
+        probes.push_back(po);
+    }
+
+    core::MarkingConfig with_ce;  // use_ce defaults on
+    core::CongestionMarker marker{with_ce};
+    const auto marks = marker.mark(probes);
+    ASSERT_EQ(marks.size(), 3u);
+    EXPECT_FALSE(marks[0].congested);
+    EXPECT_TRUE(marks[1].congested);
+    EXPECT_TRUE(marks[1].by_ce);
+    EXPECT_FALSE(marks[1].by_loss);
+    EXPECT_FALSE(marks[2].congested);
+
+    core::MarkingConfig no_ce;
+    no_ce.use_ce = false;
+    core::CongestionMarker blind{no_ce};
+    const auto blind_marks = blind.mark(probes);
+    for (const auto& m : blind_marks) EXPECT_FALSE(m.congested);
+}
+
+TEST(TcpEcn, EndToEndRedEcnMarksAndSendersBackOff) {
+    scenarios::TestbedConfig tb;
+    tb.bottleneck_rate_bps = 10'000'000;
+    tb.discipline = scenarios::QueueDiscipline::red;
+    tb.red.ecn = true;
+    tb.seed = 3;
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::infinite_tcp;
+    wl.duration = seconds_i(30);
+    wl.tcp_flows = 10;
+    wl.tcp_ecn = true;
+    wl.seed = 3;
+    scenarios::Experiment exp{tb, wl};
+    exp.run();
+
+    auto& queue = exp.testbed().bottleneck();
+    EXPECT_GT(queue.marks(), 0u);
+    auto* red = dynamic_cast<sim::RedQueue*>(&queue);
+    ASSERT_NE(red, nullptr);
+    EXPECT_EQ(red->early_marks(), queue.marks());
+
+    std::uint64_t responses = 0;
+    std::uint64_t ce_seen = 0;
+    for (const auto& flow : exp.workload().tcp_flows()) {
+        responses += flow->sender().ecn_responses();
+        ce_seen += flow->receiver().ce_received();
+    }
+    EXPECT_GT(ce_seen, 0u) << "CE marks must reach the receivers";
+    EXPECT_GT(responses, 0u) << "echoed CE must shrink sender windows";
+}
+
+TEST(TcpEcn, EcnProbesRecordCeMarks) {
+    scenarios::TestbedConfig tb;
+    tb.bottleneck_rate_bps = 10'000'000;
+    tb.discipline = scenarios::QueueDiscipline::red;
+    tb.red.ecn = true;
+    tb.seed = 5;
+    scenarios::WorkloadConfig wl;
+    wl.kind = scenarios::TrafficKind::infinite_tcp;
+    wl.duration = seconds_i(30);
+    wl.tcp_flows = 10;
+    wl.seed = 5;
+    scenarios::Experiment exp{tb, wl};
+    probes::BadabingConfig probe_cfg;
+    probe_cfg.p = 0.3;
+    probe_cfg.total_slots = 0;  // sized to the workload window
+    probe_cfg.ecn_probes = true;
+    auto& tool = exp.add_badabing(probe_cfg);
+    exp.run();
+
+    std::uint64_t ce_probes = 0;
+    for (const auto& po : tool.outcomes()) {
+        if (po.ce_marked) ++ce_probes;
+    }
+    EXPECT_GT(ce_probes, 0u) << "ECT probes through a marking RED hop must pick up CE";
+    // The CE-aware analysis must run end to end on this trace.
+    const auto res = tool.analyze(exp.default_marking(probe_cfg.p));
+    EXPECT_GT(res.frequency.value, 0.0);
+}
+
+}  // namespace
+}  // namespace bb

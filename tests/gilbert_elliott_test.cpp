@@ -1,0 +1,226 @@
+// Gilbert-Elliott lossy-link tests.  The headline property test pins the
+// realized long-run loss fraction against the analytic stationary rate
+//   pi_bad = mean_bad / (mean_good + mean_bad)
+//   E[loss] = pi_good * p_good + pi_bad * p_bad,
+// and the clustering test pins the defining feature of the model: losses
+// arrive in bursts, so P(lost | previous lost) far exceeds the marginal rate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/lossy_link.h"
+#include "sim/scheduler.h"
+
+namespace bb {
+namespace {
+
+// GOOD is lossless; BAD eats half the packets.  pi_bad = 10/(20+10) = 1/3,
+// so the stationary loss rate is 1/6.
+sim::GilbertElliottLink::Config bursty_cfg() {
+    sim::GilbertElliottLink::Config cfg;
+    cfg.p_good_loss = 0.0;
+    cfg.p_bad_loss = 0.5;
+    cfg.mean_good = milliseconds(20);
+    cfg.mean_bad = milliseconds(10);
+    return cfg;
+}
+
+TEST(GilbertElliott, RejectsInvalidConfig) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    auto bad_sojourn = bursty_cfg();
+    bad_sojourn.mean_bad = TimeNs::zero();
+    EXPECT_THROW(sim::GilbertElliottLink(sched, bad_sojourn, sink, Rng{1}),
+                 std::invalid_argument);
+    auto bad_prob = bursty_cfg();
+    bad_prob.p_bad_loss = 1.5;
+    EXPECT_THROW(sim::GilbertElliottLink(sched, bad_prob, sink, Rng{1}),
+                 std::invalid_argument);
+}
+
+TEST(GilbertElliott, LosslessWhenBothStatesAreLossless) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    auto cfg = bursty_cfg();
+    cfg.p_bad_loss = 0.0;
+    sim::GilbertElliottLink link{sched, cfg, sink, Rng{11}};
+    for (int i = 0; i < 500; ++i) {
+        sched.schedule_at(milliseconds(i), [&link, i] {
+            sim::Packet p;
+            p.id = static_cast<std::uint64_t>(i) + 1;
+            p.size_bytes = 1000;
+            link.accept(p);
+        });
+    }
+    sched.run();
+    EXPECT_EQ(link.drops(), 0u);
+    EXPECT_EQ(sink.packets(), 500u);
+    EXPECT_GT(link.state_flips(), 0u) << "the chain still alternates states";
+}
+
+TEST(GilbertElliott, AnalyticStationaryRateFormula) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::GilbertElliottLink link{sched, bursty_cfg(), sink, Rng{1}};
+    EXPECT_NEAR(link.stationary_loss_rate(), 1.0 / 6.0, 1e-12);
+
+    auto sym = bursty_cfg();
+    sym.mean_good = milliseconds(10);
+    sym.p_good_loss = 0.1;
+    sim::GilbertElliottLink link2{sched, sym, sink, Rng{1}};
+    EXPECT_NEAR(link2.stationary_loss_rate(), 0.5 * 0.1 + 0.5 * 0.5, 1e-12);
+}
+
+TEST(GilbertElliott, RealizedLossRateMatchesStationaryRate) {
+    // 300k packets at 100 us spacing span ~1000 good/bad cycles, enough for
+    // the realized fraction to settle onto the analytic value.
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::GilbertElliottLink link{sched, bursty_cfg(), sink, Rng{42}};
+    struct Pump {
+        sim::Scheduler* s;
+        sim::PacketSink* out;
+        int remaining;
+        std::uint64_t id{0};
+        void step() {
+            if (remaining-- <= 0) return;
+            sim::Packet p;
+            p.id = ++id;
+            p.size_bytes = 1000;
+            out->accept(p);
+            s->schedule_after(microseconds(100), [this] { step(); });
+        }
+    } pump{&sched, &link, 300'000};
+    sched.schedule_at(TimeNs::zero(), [&pump] { pump.step(); });
+    sched.run();
+    const double realized =
+        static_cast<double>(link.drops()) / static_cast<double>(link.arrivals());
+    EXPECT_NEAR(realized, link.stationary_loss_rate(), 0.02);
+    EXPECT_GT(link.state_flips(), 500u);
+}
+
+TEST(GilbertElliott, LossesClusterFarAboveTheMarginalRate) {
+    // Reconstruct the per-packet loss sequence and compare
+    // P(lost_i | lost_{i-1}) against the marginal loss fraction.  At 100 us
+    // spacing the BAD state persists across ~100 consecutive packets, so the
+    // conditional should sit near p_bad_loss = 0.5 while the marginal is 1/6.
+    sim::Scheduler sched;
+    std::vector<bool> lost(120'000, true);
+    class Marker final : public sim::PacketSink {
+    public:
+        explicit Marker(std::vector<bool>& lost) : lost_{&lost} {}
+        void accept(const sim::Packet& p) override {
+            (*lost_)[static_cast<std::size_t>(p.id - 1)] = false;
+        }
+
+    private:
+        std::vector<bool>* lost_;
+    } sink{lost};
+    sim::GilbertElliottLink link{sched, bursty_cfg(), sink, Rng{7}};
+    struct Pump {
+        sim::Scheduler* s;
+        sim::PacketSink* out;
+        int remaining;
+        std::uint64_t id{0};
+        void step() {
+            if (remaining-- <= 0) return;
+            sim::Packet p;
+            p.id = ++id;
+            p.size_bytes = 1000;
+            out->accept(p);
+            s->schedule_after(microseconds(100), [this] { step(); });
+        }
+    } pump{&sched, &link, static_cast<int>(lost.size())};
+    sched.schedule_at(TimeNs::zero(), [&pump] { pump.step(); });
+    sched.run();
+
+    std::uint64_t losses = 0;
+    std::uint64_t pairs = 0;
+    std::uint64_t both = 0;
+    for (std::size_t i = 1; i < lost.size(); ++i) {
+        if (lost[i]) ++losses;
+        if (lost[i - 1]) {
+            ++pairs;
+            if (lost[i]) ++both;
+        }
+    }
+    ASSERT_GT(pairs, 1000u);
+    const double marginal = static_cast<double>(losses) / static_cast<double>(lost.size());
+    const double conditional = static_cast<double>(both) / static_cast<double>(pairs);
+    EXPECT_GT(conditional, 2.0 * marginal) << "losses must cluster, not be i.i.d.";
+    EXPECT_NEAR(conditional, 0.5, 0.06);
+}
+
+TEST(GilbertElliott, SameSeedReproducesTheRun) {
+    const auto run = [&](std::uint64_t seed) {
+        sim::Scheduler sched;
+        sim::CountingSink sink;
+        sim::GilbertElliottLink link{sched, bursty_cfg(), sink, Rng{seed}};
+        for (int i = 0; i < 20'000; ++i) {
+            sched.schedule_at(microseconds(200) * i, [&link, i] {
+                sim::Packet p;
+                p.id = static_cast<std::uint64_t>(i) + 1;
+                p.size_bytes = 1000;
+                link.accept(p);
+            });
+        }
+        sched.run();
+        return std::tuple{link.drops(), link.state_flips(), sink.packets()};
+    };
+    EXPECT_EQ(run(99), run(99));
+    EXPECT_NE(std::get<0>(run(99)), std::get<0>(run(100)));
+}
+
+TEST(GilbertElliott, DropHookFiresOncePerDropWithNonDecreasingTimes) {
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::GilbertElliottLink link{sched, bursty_cfg(), sink, Rng{5}};
+    std::vector<TimeNs> drop_times;
+    link.on_drop([&](const sim::Packet&, TimeNs at) { drop_times.push_back(at); });
+    for (int i = 0; i < 50'000; ++i) {
+        sched.schedule_at(microseconds(100) * i, [&link, i] {
+            sim::Packet p;
+            p.id = static_cast<std::uint64_t>(i) + 1;
+            p.size_bytes = 1000;
+            link.accept(p);
+        });
+    }
+    sched.run();
+    EXPECT_EQ(drop_times.size(), link.drops());
+    ASSERT_GT(drop_times.size(), 0u);
+    for (std::size_t i = 1; i < drop_times.size(); ++i) {
+        ASSERT_GE(drop_times[i], drop_times[i - 1])
+            << "external-drop feed requires non-decreasing instants";
+    }
+}
+
+TEST(GilbertElliott, ExtraDelayShiftsDeliveryNotLoss) {
+    sim::Scheduler sched;
+    std::vector<TimeNs> arrivals;
+    class Stamper final : public sim::PacketSink {
+    public:
+        Stamper(sim::Scheduler& s, std::vector<TimeNs>& at) : s_{&s}, at_{&at} {}
+        void accept(const sim::Packet&) override { at_->push_back(s_->now()); }
+
+    private:
+        sim::Scheduler* s_;
+        std::vector<TimeNs>* at_;
+    } sink{sched, arrivals};
+    auto cfg = bursty_cfg();
+    cfg.p_bad_loss = 0.0;  // lossless: isolate the delay behaviour
+    cfg.extra_delay = milliseconds(5);
+    sim::GilbertElliottLink link{sched, cfg, sink, Rng{3}};
+    sched.schedule_at(milliseconds(10), [&link] {
+        sim::Packet p;
+        p.id = 1;
+        p.size_bytes = 1000;
+        link.accept(p);
+    });
+    sched.run();
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_EQ(arrivals[0], milliseconds(15));
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,178 @@
+// Seed-pinned golden test: Table 4/5/6-shaped runs plus the Figure 9
+// sensitivity sweep, with every output pinned to the exact value the
+// drop-tail pipeline produced when the values were recorded.
+//
+// Purpose: the queue-discipline factory refactor (PIE/CoDel/ECN/GE link) must
+// be a pure extension — with drop-tail selected, every packet, drop, probe
+// outcome and estimate must stay bit-identical to the pre-refactor tree.
+// These tests fail on ANY behavioural drift in the drop-tail path: an extra
+// RNG draw in Testbed construction, a reordered event, a changed default.
+//
+// The runs are shrunken (120 s, 20 Mb/s) so the whole file stays in test
+// time budget; bit-identity does not depend on the workload size.
+//
+// Regenerating the constants (only after an *intentional* behaviour change):
+//   BB_GOLDEN_PRINT=1 ./build/tests/golden_droptail_test
+// and paste the printed block below.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "scenarios/experiment.h"
+
+namespace bb {
+namespace {
+
+using scenarios::Experiment;
+using scenarios::TestbedConfig;
+using scenarios::TrafficKind;
+using scenarios::WorkloadConfig;
+
+struct GoldenRow {
+    double truth_freq{0.0};
+    double truth_dur_s{0.0};
+    std::uint64_t truth_episodes{0};
+    std::uint64_t truth_drops{0};
+    double est_freq{0.0};
+    double est_dur_s{0.0};
+    std::uint64_t probes_sent{0};
+    std::uint64_t packets_lost{0};
+};
+
+TestbedConfig golden_testbed() {
+    TestbedConfig cfg;
+    cfg.bottleneck_rate_bps = 20'000'000;
+    return cfg;
+}
+
+WorkloadConfig golden_workload(TrafficKind kind) {
+    WorkloadConfig wl;
+    wl.kind = kind;
+    wl.duration = seconds_i(120);
+    wl.seed = 42;
+    wl.mean_episode_gap = seconds_i(6);
+    if (kind == TrafficKind::cbr_multi) {
+        wl.episode_durations = {milliseconds(50), milliseconds(100), milliseconds(150)};
+    }
+    if (kind == TrafficKind::web) {
+        wl.web_session_rate_per_s = 10.0 / 3.0;  // 5.0 scaled from 30 to 20 Mb/s
+    }
+    return wl;
+}
+
+GoldenRow run_golden(TrafficKind kind) {
+    const WorkloadConfig wl = golden_workload(kind);
+    scenarios::TruthConfig tc;
+    tc.delay_based = kind == TrafficKind::web;
+    Experiment exp{golden_testbed(), wl, tc};
+    probes::BadabingConfig bc;
+    bc.p = 0.3;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+
+    const auto truth = exp.truth();
+    const auto res = tool.analyze(exp.default_marking(0.3));
+    GoldenRow row;
+    row.truth_freq = truth.frequency;
+    row.truth_dur_s = truth.mean_duration_s;
+    row.truth_episodes = truth.episodes;
+    row.truth_drops = truth.total_drops;
+    row.est_freq = res.frequency.value;
+    row.est_dur_s = res.duration_basic.valid ? res.duration_basic.seconds(tool.slot_width()) : 0.0;
+    row.probes_sent = res.probes_sent;
+    row.packets_lost = res.packets_lost;
+    return row;
+}
+
+bool golden_print() { return std::getenv("BB_GOLDEN_PRINT") != nullptr; }
+
+void print_row(const char* name, const GoldenRow& r) {
+    std::printf("golden %s: {%.17g, %.17g, %lluu, %lluu, %.17g, %.17g, %lluu, %lluu}\n",
+                name, r.truth_freq, r.truth_dur_s,
+                static_cast<unsigned long long>(r.truth_episodes),
+                static_cast<unsigned long long>(r.truth_drops), r.est_freq, r.est_dur_s,
+                static_cast<unsigned long long>(r.probes_sent),
+                static_cast<unsigned long long>(r.packets_lost));
+}
+
+void expect_row(const GoldenRow& got, const GoldenRow& want) {
+    // Bit-identical, not approximately equal: EXPECT_EQ on the doubles.
+    EXPECT_EQ(got.truth_freq, want.truth_freq);
+    EXPECT_EQ(got.truth_dur_s, want.truth_dur_s);
+    EXPECT_EQ(got.truth_episodes, want.truth_episodes);
+    EXPECT_EQ(got.truth_drops, want.truth_drops);
+    EXPECT_EQ(got.est_freq, want.est_freq);
+    EXPECT_EQ(got.est_dur_s, want.est_dur_s);
+    EXPECT_EQ(got.probes_sent, want.probes_sent);
+    EXPECT_EQ(got.packets_lost, want.packets_lost);
+}
+
+// --- pinned values (regenerate with BB_GOLDEN_PRINT=1; see header) ---------
+
+const GoldenRow kTable4{0.015416666666666667, 0.087589871100000022, 20u, 3638u,
+                        0.016409400639688501, 0.11699999999999999, 12183u, 349u};
+const GoldenRow kTable5{0.020125000000000001, 0.1146963324, 20u, 4740u,
+                        0.021554721179251841, 0.17166666666666669, 12183u, 482u};
+const GoldenRow kTable6{0.010125, 0.055873354100000008, 20u, 914u,
+                        0.010985954665554165, 0.066666666666666666, 12183u, 111u};
+const double kFig9[3] = {0.015479360852197071, 0.017310252996005325, 0.020223035952063914};
+
+TEST(GoldenDropTail, Table4CbrUniform) {
+    const GoldenRow row = run_golden(TrafficKind::cbr_uniform);
+    if (golden_print()) {
+        print_row("kTable4", row);
+        return;
+    }
+    expect_row(row, kTable4);
+}
+
+TEST(GoldenDropTail, Table5CbrMulti) {
+    const GoldenRow row = run_golden(TrafficKind::cbr_multi);
+    if (golden_print()) {
+        print_row("kTable5", row);
+        return;
+    }
+    expect_row(row, kTable5);
+}
+
+TEST(GoldenDropTail, Table6Web) {
+    const GoldenRow row = run_golden(TrafficKind::web);
+    if (golden_print()) {
+        print_row("kTable6", row);
+        return;
+    }
+    expect_row(row, kTable6);
+}
+
+TEST(GoldenDropTail, Fig9SensitivitySweep) {
+    // One run re-analyzed under the Figure 9 alpha sweep; pins the marking +
+    // estimator path (not just the simulator).
+    const WorkloadConfig wl = golden_workload(TrafficKind::cbr_uniform);
+    Experiment exp{golden_testbed(), wl};
+    probes::BadabingConfig bc;
+    bc.p = 0.5;
+    bc.total_slots = 0;
+    auto& tool = exp.add_badabing(bc);
+    exp.run();
+
+    const double alphas[3] = {0.05, 0.10, 0.20};
+    double freqs[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+        core::MarkingConfig m;
+        m.alpha = alphas[i];
+        m.tau = milliseconds(80);
+        freqs[i] = tool.analyze(m).frequency.value;
+    }
+    if (golden_print()) {
+        std::printf("golden kFig9: {%.17g, %.17g, %.17g}\n", freqs[0], freqs[1], freqs[2]);
+        return;
+    }
+    EXPECT_EQ(freqs[0], kFig9[0]);
+    EXPECT_EQ(freqs[1], kFig9[1]);
+    EXPECT_EQ(freqs[2], kFig9[2]);
+}
+
+}  // namespace
+}  // namespace bb

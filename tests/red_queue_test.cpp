@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "measure/loss_monitor.h"
 #include "scenarios/testbed.h"
 #include "sim/link.h"
@@ -115,6 +117,77 @@ TEST(RedQueue, AverageAgesDuringIdle) {
     });
     sched.run();
     EXPECT_LT(queue.average_queue_bytes(), avg_busy * 0.1);
+}
+
+TEST(RedQueue, BusyEwmaTakesOneSamplePerArrival) {
+    // Five same-instant arrivals on an empty queue.  Arrival 1 takes the
+    // idle branch with m = 0 (no EWMA sample); arrivals 2..5 each sample the
+    // instantaneous occupancy seen at admission: 0, 1000, 2000, 3000 bytes
+    // (the packet in service is off the FIFO).  The average must equal the
+    // hand-run recurrence bit for bit — one sample per arrival, no more.
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::RedQueue queue{sched, link_cfg(), red_params(), sink, Rng{6}};
+    sched.schedule_at(TimeNs::zero(), [&] {
+        for (int i = 0; i < 5; ++i) {
+            sim::Packet p;
+            p.id = static_cast<std::uint64_t>(i) + 1;
+            p.size_bytes = 1000;
+            queue.accept(p);
+        }
+    });
+    sched.run();
+
+    const double w = red_params().weight;
+    double expected = 0.0;
+    for (const double occupancy : {0.0, 1000.0, 2000.0, 3000.0}) {
+        expected = (1.0 - w) * expected + w * occupancy;
+    }
+    EXPECT_DOUBLE_EQ(queue.average_queue_bytes(), expected);
+}
+
+TEST(RedQueue, IdleAgingIsPureAgingWithNoExtraSample) {
+    // Regression for the idle-period accounting bug: the empty-at-arrival
+    // branch must ONLY age the average by (1-w)^m — folding in an extra
+    // w*0 EWMA sample on top multiplies by a spurious (1-w) factor
+    // (Floyd/Jacobson 1993, Figure 2, lines "if queue empty").
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    sim::RedQueue queue{sched, link_cfg(), red_params(), sink, Rng{6}};
+    TimeNs empty_at = TimeNs::zero();
+    queue.on_dequeue([&](const sim::QueueEvent& ev) {
+        if (ev.queue_bytes_after == 0) empty_at = ev.at;
+    });
+    sched.schedule_at(TimeNs::zero(), [&] {
+        for (int i = 0; i < 5; ++i) {
+            sim::Packet p;
+            p.id = static_cast<std::uint64_t>(i) + 1;
+            p.size_bytes = 1000;
+            queue.accept(p);
+        }
+    });
+    sched.run_until(milliseconds(50));
+    const double avg_busy = queue.average_queue_bytes();
+    ASSERT_GT(avg_busy, 0.0);
+    ASSERT_GT(empty_at, TimeNs::zero());
+    // The poke packet's own dequeue re-fires the hook; keep the burst's value.
+    const TimeNs burst_drained_at = empty_at;
+
+    const TimeNs poke = milliseconds(100);
+    sched.schedule_at(poke, [&] {
+        sim::Packet p;
+        p.id = 999;
+        p.size_bytes = 1000;
+        queue.accept(p);
+    });
+    sched.run();
+
+    // m = idle seconds / (500-byte transmission time), exactly as in RED.
+    const double w = red_params().weight;
+    const double tx_s = 500.0 * 8.0 / 10'000'000.0;
+    const double m = (poke - burst_drained_at).to_seconds() / tx_s;
+    EXPECT_DOUBLE_EQ(queue.average_queue_bytes(), avg_busy * std::pow(1.0 - w, m))
+        << "idle aging must not take a regular EWMA sample on top";
 }
 
 TEST(Testbed, RedDisciplineSelectable) {
