@@ -6,6 +6,11 @@
 // and duration estimates pick up bias.  A passive Q-bit observer rides every
 // cell as the router-centric comparison estimator.
 //
+// The cell matrix is no longer hand-nested loops: it is a sweep-DSL document
+// (the same spec, modulo env substitution, lives in
+// examples/ablation_aqm_sweep.json for bb_sweep) expanded by the sweep
+// engine and executed per cell through the ReplicaRunner.
+//
 // BB_BENCH_ABLATION_DURATION_S overrides the per-cell duration (default 120,
 // enough for stable cell shapes; the tables use the full 900 s runs).
 // BB_BENCH_JSON=<dir> additionally writes BENCH_ablation_aqm.json there.
@@ -13,8 +18,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common.h"
+#include "scenarios/sweep.h"
+#include "util/json.h"
+#include "util/json_io.h"
 
 namespace {
 
@@ -27,14 +36,35 @@ bb::TimeNs ablation_duration() {
     return bb::seconds_i(120);
 }
 
-const char* discipline_name(scen::QueueDiscipline d) {
-    switch (d) {
-        case scen::QueueDiscipline::drop_tail: return "drop_tail";
-        case scen::QueueDiscipline::red: return "red";
-        case scen::QueueDiscipline::pie: return "pie";
-        case scen::QueueDiscipline::codel: return "codel";
-    }
-    return "?";
+// The ablation matrix as a sweep spec.  Axis order matches the historical
+// loop nesting (discipline outermost, GE innermost) so cell order is stable.
+std::string ablation_sweep_text() {
+    char buf[1280];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"name\": \"ablation_aqm\",\n"
+        "  \"base\": {\n"
+        "    \"link\": {\"rate_mbps\": %lld, \"qbit_block\": 100,\n"
+        "             \"ge\": {\"p_bad_loss\": 0.3, \"mean_good_s\": 5, "
+        "\"mean_bad_ms\": 100}},\n"
+        "    \"traffic\": {\"kind\": \"cbr_uniform\", \"duration_s\": %lld,\n"
+        "                \"episode_ms\": 68, \"mean_episode_gap_s\": 10, "
+        "\"tcp_flows\": %d},\n"
+        "    \"probe\": {\"badabing\": {\"p\": 0.3}},\n"
+        "    \"run\": {\"replicas\": 1, \"seed\": %llu}\n"
+        "  },\n"
+        "  \"axes\": {\n"
+        "    \"link.discipline\": [\"drop_tail\", \"red\", \"pie\", \"codel\"],\n"
+        "    \"traffic.kind\": [\"cbr_uniform\", \"infinite_tcp\"],\n"
+        "    \"link.ge.enabled\": [false, true]\n"
+        "  }\n"
+        "}\n",
+        static_cast<long long>(bench_testbed().bottleneck_rate_bps / 1'000'000),
+        static_cast<long long>(ablation_duration().to_seconds()),
+        infinite_tcp_workload().tcp_flows,
+        static_cast<unsigned long long>(bench_seed()));
+    return buf;
 }
 
 struct CellOut {
@@ -58,73 +88,38 @@ double rel_error(double est, double truth) {
     return (est - truth) / truth;
 }
 
-CellOut run_cell(scen::QueueDiscipline d, bool tcp, bool ge) {
-    auto tb = bench_testbed();
-    tb.discipline = d;
-    tb.qbit_block = 100;
-    if (ge) {
-        tb.ge_enabled = true;
-        tb.ge.p_bad_loss = 0.3;
-        tb.ge.mean_good = bb::seconds_i(5);
-        tb.ge.mean_bad = bb::milliseconds(100);
+const char* discipline_name(scen::QueueDiscipline d) {
+    switch (d) {
+        case scen::QueueDiscipline::drop_tail: return "drop_tail";
+        case scen::QueueDiscipline::red: return "red";
+        case scen::QueueDiscipline::pie: return "pie";
+        case scen::QueueDiscipline::codel: return "codel";
     }
-    auto wl = tcp ? infinite_tcp_workload() : cbr_uniform_workload();
-    wl.duration = ablation_duration();
-
-    scen::Experiment exp{tb, wl, truth_for(wl)};
-    bb::probes::BadabingConfig bc;
-    bc.p = 0.3;
-    bc.total_slots = 0;
-    auto& tool = exp.add_badabing(bc);
-    exp.run();
-
-    const auto truth = exp.truth();
-    const auto res = tool.analyze(exp.default_marking(bc.p));
-
-    CellOut out;
-    out.discipline = discipline_name(d);
-    out.traffic = tcp ? "tcp" : "cbr";
-    out.ge = ge;
-    out.truth_frequency = truth.frequency;
-    out.est_frequency = res.frequency.value;
-    out.freq_rel_error = rel_error(out.est_frequency, out.truth_frequency);
-    out.truth_duration_s = truth.mean_duration_s;
-    out.est_duration_s =
-        res.duration_basic.valid ? res.duration_basic.seconds(tool.slot_width()) : 0.0;
-    out.dur_rel_error = rel_error(out.est_duration_s, out.truth_duration_s);
-    out.episodes = truth.episodes;
-
-    auto& queue = exp.testbed().bottleneck();
-    const std::uint64_t ge_drops = exp.testbed().ge() ? exp.testbed().ge()->drops() : 0;
-    if (queue.arrivals() > 0) {
-        out.path_loss_rate = static_cast<double>(queue.drops() + ge_drops) /
-                             static_cast<double>(queue.arrivals());
-    }
-    if (auto* obs = exp.testbed().qbit_observer()) {
-        obs->finalize();
-        out.passive_loss_rate = obs->loss_rate();
-        out.qbit_merged_blocks = obs->merged_blocks();
-    }
-    return out;
+    return "?";
 }
 
-void append_json_cell(std::string& doc, const CellOut& c, bool first) {
-    char buf[640];
-    std::snprintf(
-        buf, sizeof buf,
-        "%s    {\"discipline\": \"%s\", \"traffic\": \"%s\", \"ge\": %s,\n"
-        "     \"truth_frequency\": %.8f, \"est_frequency\": %.8f, "
-        "\"freq_rel_error\": %.6f,\n"
-        "     \"truth_duration_s\": %.6f, \"est_duration_s\": %.6f, "
-        "\"dur_rel_error\": %.6f,\n"
-        "     \"episodes\": %zu, \"path_loss_rate\": %.8f, "
-        "\"passive_loss_rate\": %.8f, \"qbit_merged_blocks\": %llu}",
-        first ? "" : ",\n", c.discipline.c_str(), c.traffic.c_str(),
-        c.ge ? "true" : "false", c.truth_frequency, c.est_frequency, c.freq_rel_error,
-        c.truth_duration_s, c.est_duration_s, c.dur_rel_error, c.episodes,
-        c.path_loss_rate, c.passive_loss_rate,
-        static_cast<unsigned long long>(c.qbit_merged_blocks));
-    doc += buf;
+CellOut run_cell(const scen::SweepCell& cell) {
+    const scen::ReplicaPlan plan = scen::replica_plan_from(cell.spec);
+    const scen::ReplicaRunner runner{scen::runner_config_from(cell.spec)};
+    const auto rows = runner.run(plan);
+    const auto& r = rows.front();
+
+    CellOut out;
+    out.discipline = discipline_name(cell.spec.testbed.discipline);
+    out.traffic =
+        cell.spec.workload.kind == scen::TrafficKind::infinite_tcp ? "tcp" : "cbr";
+    out.ge = cell.spec.testbed.ge_enabled;
+    out.truth_frequency = r.truth.frequency;
+    out.est_frequency = r.est_frequency();
+    out.freq_rel_error = rel_error(out.est_frequency, out.truth_frequency);
+    out.truth_duration_s = r.truth.mean_duration_s;
+    out.est_duration_s = r.est_duration_s(plan.probe.slot_width);
+    out.dur_rel_error = rel_error(out.est_duration_s, out.truth_duration_s);
+    out.episodes = r.episodes;
+    out.path_loss_rate = r.path_loss_rate;
+    out.passive_loss_rate = r.passive_loss_rate;
+    out.qbit_merged_blocks = r.qbit_merged_blocks;
+    return out;
 }
 
 void maybe_write_json(const std::vector<CellOut>& cells) {
@@ -134,21 +129,33 @@ void maybe_write_json(const std::vector<CellOut>& cells) {
     if (path.empty() || path == "1") path = ".";
     path += "/BENCH_ablation_aqm.json";
 
-    std::string doc = "{\n  \"bench\": \"ablation_aqm\",\n";
-    char head[128];
-    std::snprintf(head, sizeof head, "  \"duration_s\": %.0f,\n  \"probe_p\": 0.3,\n",
-                  ablation_duration().to_seconds());
-    doc += head;
-    doc += "  \"cells\": [\n";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        append_json_cell(doc, cells[i], i == 0);
+    bb::JsonWriter w{bb::JsonWriter::Options{2, true}};
+    w.begin_object();
+    w.key("bench").value("ablation_aqm");
+    w.key("duration_s").value_double(ablation_duration().to_seconds(), "%.0f");
+    w.key("probe_p").value_double(0.3, "%.1f");
+    w.key("cells").begin_array();
+    for (const auto& c : cells) {
+        w.begin_object_inline();
+        w.key("discipline").value(c.discipline);
+        w.key("traffic").value(c.traffic);
+        w.key("ge").value(c.ge);
+        w.key("truth_frequency").value_double(c.truth_frequency, "%.8f");
+        w.key("est_frequency").value_double(c.est_frequency, "%.8f");
+        w.key("freq_rel_error").value_double(c.freq_rel_error, "%.6f");
+        w.key("truth_duration_s").value_double(c.truth_duration_s, "%.6f");
+        w.key("est_duration_s").value_double(c.est_duration_s, "%.6f");
+        w.key("dur_rel_error").value_double(c.dur_rel_error, "%.6f");
+        w.key("episodes").value_uint(c.episodes);
+        w.key("path_loss_rate").value_double(c.path_loss_rate, "%.8f");
+        w.key("passive_loss_rate").value_double(c.passive_loss_rate, "%.8f");
+        w.key("qbit_merged_blocks").value_uint(c.qbit_merged_blocks);
+        w.end_object();
     }
-    doc += "\n  ]\n}\n";
+    w.end_array();
+    w.end_object();
 
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
+    if (!bb::write_text_file(path, w.str() + "\n")) return;
     std::printf("json: wrote %s\n", path.c_str());
 }
 
@@ -159,6 +166,22 @@ int main() {
                  "extension of Sommers et al., SIGCOMM 2005, Section 7 discussion");
     std::printf("per-cell duration: %.0f s (BB_BENCH_ABLATION_DURATION_S overrides)\n",
                 ablation_duration().to_seconds());
+
+    const std::string spec_text = ablation_sweep_text();
+    const auto sweep = scen::load_sweep_spec_text(spec_text, "<ablation sweep>");
+    if (!sweep.ok) {
+        std::fprintf(stderr, "ablation sweep rejected: %s\n", sweep.error.c_str());
+        return 1;
+    }
+    const auto expanded = scen::expand_sweep(sweep.sweep, "<ablation sweep>");
+    if (!expanded.ok) {
+        std::fprintf(stderr, "ablation sweep expansion failed: %s\n",
+                     expanded.error.c_str());
+        return 1;
+    }
+
+    std::printf("cells: %zu (from sweep spec \"%s\")\n", expanded.cells.size(),
+                sweep.sweep.name.c_str());
     std::printf("%-10s %-4s %-3s | %-19s | %-19s | %-17s | %s\n", "queue", "mix", "ge",
                 "frequency", "duration (s)", "loss rate", "qbit");
     std::printf("%-10s %-4s %-3s | %-9s %-9s | %-9s %-9s | %-8s %-8s | %s\n", "", "", "",
@@ -167,21 +190,15 @@ int main() {
                 "------------------\n");
 
     std::vector<CellOut> cells;
-    for (const auto d :
-         {scen::QueueDiscipline::drop_tail, scen::QueueDiscipline::red,
-          scen::QueueDiscipline::pie, scen::QueueDiscipline::codel}) {
-        for (const bool tcp : {false, true}) {
-            for (const bool ge : {false, true}) {
-                CellOut c = run_cell(d, tcp, ge);
-                std::printf("%-10s %-4s %-3s | %-9.4f %-9.4f | %-9.3f %-9.3f | "
-                            "%-8.5f %-8.5f | %llu\n",
-                            c.discipline.c_str(), c.traffic.c_str(), c.ge ? "on" : "off",
-                            c.truth_frequency, c.est_frequency, c.truth_duration_s,
-                            c.est_duration_s, c.path_loss_rate, c.passive_loss_rate,
-                            static_cast<unsigned long long>(c.qbit_merged_blocks));
-                cells.push_back(std::move(c));
-            }
-        }
+    for (const auto& cell : expanded.cells) {
+        CellOut c = run_cell(cell);
+        std::printf("%-10s %-4s %-3s | %-9.4f %-9.4f | %-9.3f %-9.3f | "
+                    "%-8.5f %-8.5f | %llu\n",
+                    c.discipline.c_str(), c.traffic.c_str(), c.ge ? "on" : "off",
+                    c.truth_frequency, c.est_frequency, c.truth_duration_s,
+                    c.est_duration_s, c.path_loss_rate, c.passive_loss_rate,
+                    static_cast<unsigned long long>(c.qbit_merged_blocks));
+        cells.push_back(std::move(c));
     }
 
     std::printf("\nexpected shape: drop-tail keeps estimates closest to truth (the\n"

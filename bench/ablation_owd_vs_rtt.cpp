@@ -38,8 +38,10 @@ Result run(bool rtt_mode, double reverse_load) {
     fwd_demux.set_default(blackhole);
     rev_demux.set_default(blackhole);
 
-    // Forward bottleneck with engineered episodes.
-    sim::QueueBase::LinkConfig link;
+    // Forward bottleneck with engineered episodes.  This bench wires an
+    // asymmetric two-queue path no Testbed variant models, so the link is
+    // built by hand.
+    sim::QueueBase::LinkConfig link;  // bb-lint: allow(no-adhoc-scenario)
     link.rate_bps = tb_cfg.bottleneck_rate_bps;
     link.prop_delay = tb_cfg.prop_delay;
     link.capacity_time = tb_cfg.buffer_time;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "scenarios/spec.h"
 #include "util/json_io.h"
 
 namespace bb::bench {
@@ -11,6 +12,34 @@ namespace {
 std::int64_t env_int(const char* name, std::int64_t fallback) {
     const char* v = std::getenv(name);
     return v != nullptr ? std::atoll(v) : fallback;
+}
+
+// Every bench preset is rendered as a scenario-DSL document (env overrides
+// substituted into the text) and parsed by the same layer that serves
+// bb_sweep, so the benches and spec-driven runs cannot drift apart.
+scenarios::ScenarioSpec parse_preset(const std::string& traffic_json) {
+    char buf[1024];
+    std::snprintf(buf, sizeof buf,
+                  "{\"link\": {\"rate_mbps\": %lld}, \"traffic\": %s, "
+                  "\"run\": {\"seed\": %lld}}",
+                  static_cast<long long>(env_int("BB_BENCH_RATE_MBPS", 30)),
+                  traffic_json.c_str(),
+                  static_cast<long long>(env_int("BB_BENCH_SEED", 7)));
+    auto res = scenarios::load_scenario_spec_text(buf, "<bench preset>");
+    if (!res.ok) {
+        std::fprintf(stderr, "bench preset rejected by scenario DSL: %s\n",
+                     res.error.c_str());
+        std::abort();
+    }
+    return res.spec;
+}
+
+std::string traffic_preset(const char* kind, const std::string& extra) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf, "{\"kind\": \"%s\", \"duration_s\": %lld%s}", kind,
+                  static_cast<long long>(env_int("BB_BENCH_DURATION_S", 900)),
+                  extra.c_str());
+    return buf;
 }
 }  // namespace
 
@@ -31,49 +60,45 @@ std::size_t bench_threads() {
 }
 
 scenarios::TestbedConfig bench_testbed() {
-    scenarios::TestbedConfig cfg;
-    cfg.bottleneck_rate_bps = env_int("BB_BENCH_RATE_MBPS", 30) * 1'000'000;
-    return cfg;
+    return parse_preset(traffic_preset("cbr_uniform", "")).testbed;
+}
+
+scenarios::ScenarioSpec bench_scenario_spec() {
+    return parse_preset(traffic_preset("cbr_uniform", ""));
 }
 
 scenarios::WorkloadConfig infinite_tcp_workload() {
-    scenarios::WorkloadConfig wl;
-    wl.kind = scenarios::TrafficKind::infinite_tcp;
-    wl.duration = bench_duration();
-    wl.seed = bench_seed();
     // 40 flows on OC3 ~= 10 flows at 30 Mb/s (same per-flow bottleneck share).
-    wl.tcp_flows = static_cast<int>(
-        env_int("BB_BENCH_TCP_FLOWS", 10 * env_int("BB_BENCH_RATE_MBPS", 30) / 30));
-    return wl;
+    const std::int64_t flows =
+        env_int("BB_BENCH_TCP_FLOWS", 10 * env_int("BB_BENCH_RATE_MBPS", 30) / 30);
+    char extra[96];
+    std::snprintf(extra, sizeof extra, ", \"tcp_flows\": %lld",
+                  static_cast<long long>(flows));
+    return parse_preset(traffic_preset("infinite_tcp", extra)).workload;
 }
 
 scenarios::WorkloadConfig cbr_uniform_workload() {
-    scenarios::WorkloadConfig wl;
-    wl.kind = scenarios::TrafficKind::cbr_uniform;
-    wl.duration = bench_duration();
-    wl.seed = bench_seed();
-    wl.episode_duration = milliseconds(68);
-    wl.mean_episode_gap = seconds_i(10);
-    return wl;
+    return parse_preset(traffic_preset(
+                            "cbr_uniform", ", \"episode_ms\": 68, \"mean_episode_gap_s\": 10"))
+        .workload;
 }
 
 scenarios::WorkloadConfig cbr_multi_workload() {
-    scenarios::WorkloadConfig wl = cbr_uniform_workload();
-    wl.kind = scenarios::TrafficKind::cbr_multi;
-    wl.episode_durations = {milliseconds(50), milliseconds(100), milliseconds(150)};
-    return wl;
+    return parse_preset(
+               traffic_preset("cbr_multi",
+                              ", \"episode_ms\": 68, \"mean_episode_gap_s\": 10, "
+                              "\"episode_ms_list\": [50, 100, 150]"))
+        .workload;
 }
 
 scenarios::WorkloadConfig web_workload() {
-    scenarios::WorkloadConfig wl;
-    wl.kind = scenarios::TrafficKind::web;
-    wl.duration = bench_duration();
-    wl.seed = bench_seed();
     // Tuned so overload episodes appear roughly every 20 s (paper §4.2),
     // scaled with the bottleneck rate.
-    wl.web_session_rate_per_s =
+    const double rate_per_s =
         5.0 * static_cast<double>(env_int("BB_BENCH_RATE_MBPS", 30)) / 30.0;
-    return wl;
+    char extra[96];
+    std::snprintf(extra, sizeof extra, ", \"web_session_rate_per_s\": %.17g", rate_per_s);
+    return parse_preset(traffic_preset("web", extra)).workload;
 }
 
 scenarios::TruthConfig truth_for(const scenarios::WorkloadConfig& wl) {

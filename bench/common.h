@@ -7,6 +7,7 @@
 
 #include "scenarios/experiment.h"
 #include "scenarios/replica_runner.h"
+#include "scenarios/spec.h"
 
 namespace bb::bench {
 
@@ -23,6 +24,11 @@ namespace bb::bench {
 // The testbed scaled from the paper's OC3: defaults to 30 Mb/s with the same
 // 50 ms one-way delay and 100 ms buffer.  BB_BENCH_RATE_MBPS overrides.
 [[nodiscard]] scenarios::TestbedConfig bench_testbed();
+
+// The bench testbed as a full scenario spec (cbr_uniform placeholder
+// traffic), for benches that build the testbed through the
+// scenarios::build_testbed factory instead of hand-wiring configs.
+[[nodiscard]] scenarios::ScenarioSpec bench_scenario_spec();
 
 // Scenario presets matching the paper's experiments (tcp_flows is scaled to
 // keep the per-flow share of the bottleneck comparable to 40 flows on OC3).

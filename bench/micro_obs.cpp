@@ -22,6 +22,7 @@
 #include "core/synthetic.h"
 #include "obs/control.h"
 #include "obs/metrics.h"
+#include "util/json.h"
 #include "obs/process_stats.h"
 #include "util/json_io.h"
 #include "util/rng.h"
@@ -134,22 +135,18 @@ int main() {
     std::string path{dir != nullptr ? dir : "."};
     if (path.empty() || path == "1") path = ".";
     path += "/BENCH_micro_obs.json";
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "{\n"
-                  "  \"bench\": \"micro_obs\",\n"
-                  "  \"slots\": %lld,\n"
-                  "  \"off_ms\": %.3f,\n"
-                  "  \"on_ms\": %.3f,\n"
-                  "  \"overhead_fraction\": %.5f,\n"
-                  "  \"reports\": %llu,\n"
-                  "  \"reports_scored_counter\": %llu,\n"
-                  "  \"identical\": true\n"
-                  "}\n",
-                  static_cast<long long>(slots), off.ms, on.ms, overhead,
-                  static_cast<unsigned long long>(on.reports),
-                  static_cast<unsigned long long>(scored));
-    if (write_text_file(path, buf)) std::printf("json: wrote %s\n", path.c_str());
+    JsonWriter w{JsonWriter::Options{2, true}};
+    w.begin_object();
+    w.key("bench").value("micro_obs");
+    w.key("slots").value_int(static_cast<std::int64_t>(slots));
+    w.key("off_ms").value_double(off.ms, "%.3f");
+    w.key("on_ms").value_double(on.ms, "%.3f");
+    w.key("overhead_fraction").value_double(overhead, "%.5f");
+    w.key("reports").value_uint(on.reports);
+    w.key("reports_scored_counter").value_uint(scored);
+    w.key("identical").value(true);
+    w.end_object();
+    if (write_text_file(path, w.str() + "\n")) std::printf("json: wrote %s\n", path.c_str());
 
     if (gate && overhead > 0.05) {
         std::fprintf(stderr, "micro_obs: overhead %.2f%% exceeds the 5%% budget\n",

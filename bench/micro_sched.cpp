@@ -37,6 +37,7 @@
 
 #include "obs/process_stats.h"
 #include "sim/scheduler.h"
+#include "util/json.h"
 #include "util/json_io.h"
 #include "util/time.h"
 
@@ -279,21 +280,24 @@ int main() {
     std::string path{dir != nullptr ? dir : "."};
     if (path.empty() || path == "1") path = ".";
     path += "/BENCH_micro_sched.json";
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\n"
-        "  \"bench\": \"micro_sched\",\n"
-        "  \"host\": \"%s\",\n"
-        "  \"events\": %lld,\n"
-        "  \"tick\": {\"new_mev_s\": %.3f, \"legacy_mev_s\": %.3f, \"speedup\": %.3f},\n"
-        "  \"churn\": {\"new_mev_s\": %.3f, \"legacy_mev_s\": %.3f, \"speedup\": %.3f},\n"
-        "  \"allocs_per_event_small\": %.6f\n"
-        "}\n",
-        host_name().c_str(), static_cast<long long>(events), tick.new_mev_s,
-        tick.legacy_mev_s, tick.speedup, churn.new_mev_s, churn.legacy_mev_s,
-        churn.speedup, allocs_per_event);
-    if (write_text_file(path, buf)) std::printf("json: wrote %s\n", path.c_str());
+    JsonWriter w{JsonWriter::Options{2, true}};
+    w.begin_object();
+    w.key("bench").value("micro_sched");
+    w.key("host").value(host_name());
+    w.key("events").value_int(static_cast<std::int64_t>(events));
+    w.key("tick").begin_object_inline();
+    w.key("new_mev_s").value_double(tick.new_mev_s, "%.3f");
+    w.key("legacy_mev_s").value_double(tick.legacy_mev_s, "%.3f");
+    w.key("speedup").value_double(tick.speedup, "%.3f");
+    w.end_object();
+    w.key("churn").begin_object_inline();
+    w.key("new_mev_s").value_double(churn.new_mev_s, "%.3f");
+    w.key("legacy_mev_s").value_double(churn.legacy_mev_s, "%.3f");
+    w.key("speedup").value_double(churn.speedup, "%.3f");
+    w.end_object();
+    w.key("allocs_per_event_small").value_double(allocs_per_event, "%.6f");
+    w.end_object();
+    if (write_text_file(path, w.str() + "\n")) std::printf("json: wrote %s\n", path.c_str());
 
     const obs::ProcessStats ps = obs::process_stats();
     std::printf("process: max RSS %lld KiB, cpu %.2fs user %.2fs sys\n",

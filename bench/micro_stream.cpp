@@ -21,6 +21,7 @@
 #include "core/streaming.h"
 #include "core/synthetic.h"
 #include "obs/process_stats.h"
+#include "util/json.h"
 #include "util/json_io.h"
 #include "util/rng.h"
 
@@ -144,20 +145,23 @@ int main() {
     std::string path{dir != nullptr ? dir : "."};
     if (path.empty() || path == "1") path = ".";
     path += "/BENCH_micro_stream.json";
-    std::string doc = "{\n  \"bench\": \"micro_stream\",\n  \"rows\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "    {\"slots\": %lld, \"batch_ms\": %.3f, \"stream_ms\": %.3f, "
-                      "\"reports\": %llu, \"est_frequency\": %.8f, \"identical\": %s}%s\n",
-                      static_cast<long long>(rows[i].slots), rows[i].batch_ms,
-                      rows[i].stream_ms, static_cast<unsigned long long>(rows[i].reports),
-                      rows[i].est_frequency, rows[i].identical ? "true" : "false",
-                      i + 1 < rows.size() ? "," : "");
-        doc += buf;
+    JsonWriter w{JsonWriter::Options{2, true}};
+    w.begin_object();
+    w.key("bench").value("micro_stream");
+    w.key("rows").begin_array();
+    for (const auto& row : rows) {
+        w.begin_object_inline();
+        w.key("slots").value_int(row.slots);
+        w.key("batch_ms").value_double(row.batch_ms, "%.3f");
+        w.key("stream_ms").value_double(row.stream_ms, "%.3f");
+        w.key("reports").value_uint(row.reports);
+        w.key("est_frequency").value_double(row.est_frequency, "%.8f");
+        w.key("identical").value(row.identical);
+        w.end_object();
     }
-    doc += "  ]\n}\n";
-    if (write_text_file(path, doc)) std::printf("json: wrote %s\n", path.c_str());
+    w.end_array();
+    w.end_object();
+    if (write_text_file(path, w.str() + "\n")) std::printf("json: wrote %s\n", path.c_str());
     const obs::ProcessStats ps = obs::process_stats();
     std::printf("process: max RSS %lld KiB, cpu %.2fs user %.2fs sys\n",
                 static_cast<long long>(ps.max_rss_kb), ps.user_cpu_s, ps.system_cpu_s);

@@ -18,7 +18,8 @@ int main() {
     print_header("Section 3: router-centric vs end-to-end loss rates",
                  "Sommers et al., SIGCOMM 2005, Section 3 definitions");
 
-    scenarios::Testbed tb{bench_testbed()};
+    const auto tb_ptr = scenarios::build_testbed(bench_scenario_spec());
+    scenarios::Testbed& tb = *tb_ptr;
     measure::FlowStats stats{tb.bottleneck(), /*record_events=*/true};
     measure::LossMonitor mon{tb.sched(), tb.bottleneck()};
 

@@ -7,6 +7,7 @@
 #   BB_CI_SKIP_ASAN=1 scripts/ci.sh   # skip the AddressSanitizer stage
 #   BB_CI_SKIP_TSAN=1 scripts/ci.sh   # skip the ThreadSanitizer stage
 #   BB_CI_SKIP_OBS=1 scripts/ci.sh    # skip the observability stage
+#   BB_CI_SKIP_SWEEP=1 scripts/ci.sh  # skip the sweep cache stage
 #   BB_SKIP_BENCH=1 scripts/ci.sh     # skip the perf-regression stage
 #
 # Each stage uses its own build directory (build, build-ubsan, build-audit,
@@ -34,6 +35,22 @@ if [[ "${BB_CI_SKIP_OBS:-0}" != 1 ]]; then
   echo "==> obs: micro_obs smoke (assert-only, timing gate off)"
   BB_OBS_BENCH_GATE=off BB_OBS_BENCH_SLOTS=500000 BB_OBS_BENCH_REPS=1 \
     BB_BENCH_JSON=build ./build/bench/micro_obs
+fi
+
+if [[ "${BB_CI_SKIP_SWEEP:-0}" != 1 ]]; then
+  echo "==> sweep: cold run of the example spec, then assert the warm run is 100% cache hits"
+  sweep_dir=$(mktemp -d)
+  trap 'rm -rf "$sweep_dir"' EXIT
+  ./build/tools/bb_sweep run examples/sweep_smoke.json \
+      --out "$sweep_dir/out" --cache-dir "$sweep_dir/cache" \
+    | tee "$sweep_dir/cold.log"
+  grep -q 'cells: 2 total, computed 2, cached 0' "$sweep_dir/cold.log" \
+    || { echo "ci: cold sweep did not compute both cells" >&2; exit 1; }
+  ./build/tools/bb_sweep run examples/sweep_smoke.json \
+      --out "$sweep_dir/out" --cache-dir "$sweep_dir/cache" \
+    | tee "$sweep_dir/warm.log"
+  grep -q 'cells: 2 total, computed 0, cached 2' "$sweep_dir/warm.log" \
+    || { echo "ci: warm sweep was not 100% cache hits" >&2; exit 1; }
 fi
 
 if [[ "${BB_SKIP_BENCH:-0}" != 1 ]]; then

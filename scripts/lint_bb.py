@@ -23,6 +23,13 @@ Rules (see DESIGN.md §10 for rationale):
   own-header-first    every src/**/<name>.cpp with a sibling <name>.h must
                       include "dir/<name>.h" first, keeping headers
                       self-contained.
+  no-adhoc-scenario   hand-wired scenario plumbing (constructing a
+                      scenarios::Testbed / Figure3Testbed, or declaring a
+                      QueueBase::LinkConfig) is banned outside src/scenarios
+                      and src/sim (the defining layers): experiment wiring
+                      goes through the scenario DSL and the
+                      scenarios::build_testbed factory, so every run is
+                      reproducible from a spec document.
 
 Waivers, for the rare justified exception (justify in a trailing comment):
 
@@ -183,6 +190,19 @@ RULES = [
         "scope": lambda p: in_dirs(p, "src"),
         "check": check_own_header_first,
     },
+    {
+        "id": "no-adhoc-scenario",
+        "scope": lambda p: (in_dirs(p, "src", "tools", "bench")
+                            and not in_dirs(p, "src/scenarios", "src/sim")),
+        # Constructions only: `Testbed tb{...}`, `Figure3Testbed f{...}`,
+        # `QueueBase::LinkConfig link;` — references and parameters
+        # (`Testbed&`, `const QueueBase::LinkConfig&`) stay legal.
+        "check": grep_rule(
+            r"\b(?:scenarios::)?(?:Figure3)?Testbed\s+\w+\s*\{"
+            r"|\b(?:sim::)?QueueBase::LinkConfig\s+\w+\s*[;{=]",
+            "hand-wired scenario construction; go through the scenario DSL "
+            "and scenarios::build_testbed"),
+    },
 ]
 
 
@@ -282,6 +302,16 @@ SELF_TEST_TABLE = [
     ("no-raw-random", "src/util/rng.h", "std::mt19937_64 eng_;", False, False),  # exempt
     ("no-raw-random", "src/sim/x.cpp", "std::minstd_rand_like v;", False, False),  # substring trap
     ("no-raw-random", "src/sim/x.cpp", "// std::mt19937 in prose", False, False),  # comment
+    ("no-adhoc-scenario", "bench/x.cpp", "scenarios::Testbed tb{cfg};", False, True),
+    ("no-adhoc-scenario", "bench/x.cpp", "Figure3Testbed fig{cfg};", False, True),
+    ("no-adhoc-scenario", "tools/x.cpp", "sim::QueueBase::LinkConfig link;", False, True),
+    ("no-adhoc-scenario", "src/scenarios/spec.cpp", "Testbed tb{cfg};", False, False),  # factory home
+    ("no-adhoc-scenario", "src/sim/aqm.cpp",
+     "std::unique_ptr<QueueBase> make_queue(Scheduler& s, const QueueBase::LinkConfig& cfg);",
+     False, False),  # defining layer + reference
+    ("no-adhoc-scenario", "bench/x.cpp", "scenarios::Testbed& tb = *tb_ptr;", False, False),  # ref ok
+    ("no-adhoc-scenario", "bench/x.cpp",
+     "sim::QueueBase::LinkConfig link;  // bb-lint: allow(no-adhoc-scenario)", False, False),
 ]
 
 

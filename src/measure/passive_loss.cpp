@@ -58,7 +58,14 @@ void QBitObserver::finalize() {
 std::uint64_t QBitObserver::lost_packets() const noexcept {
     std::uint64_t lost = 0;
     for (const auto& b : blocks_) {
-        if (b.observed < block_size_) lost += block_size_ - b.observed;
+        if (b.observed < block_size_) {
+            lost += block_size_ - b.observed;
+        } else if (b.observed > block_size_) {
+            // Merged run: the sender emitted n same-phase blocks with the
+            // n-1 opposite-phase blocks between them entirely lost.
+            const std::uint64_t n = (b.observed + block_size_ - 1) / block_size_;
+            lost += n * block_size_ - b.observed + (n - 1) * block_size_;
+        }
     }
     return lost;
 }
@@ -66,9 +73,15 @@ std::uint64_t QBitObserver::lost_packets() const noexcept {
 std::uint64_t QBitObserver::expected_packets() const noexcept {
     std::uint64_t expected = 0;
     for (const auto& b : blocks_) {
-        // A merged (over-full) block spans at least two sender blocks; count
-        // what we actually saw so the rate denominator stays conservative.
-        expected += b.observed < block_size_ ? block_size_ : b.observed;
+        if (b.observed <= block_size_) {
+            expected += block_size_;
+        } else {
+            // A merged run of n same-phase sender blocks implies 2n-1 sender
+            // blocks in total (the n-1 interleaved opposite-phase blocks
+            // vanished upstream).
+            const std::uint64_t n = (b.observed + block_size_ - 1) / block_size_;
+            expected += (2 * n - 1) * block_size_;
+        }
     }
     return expected;
 }

@@ -45,10 +45,12 @@ private:
 // a block; a closed block with fewer than block_size packets lost the
 // difference upstream.
 //
-// Known aliasing limitation (inherent to the technique, not a bug): if an
-// ENTIRE block is lost, the two neighbouring blocks of the opposite phase
-// merge into one observed block and the estimator undercounts by up to
-// 2*block_size.  The merged-block counter below exposes when this happened.
+// Whole-block aliasing: if an ENTIRE block is lost, the two neighbouring
+// blocks of the opposite phase merge into one observed run.  The estimator
+// detects these over-full runs, reconstructs the spanned sender blocks
+// (ceil(observed/block_size) same-phase blocks plus the fully-lost
+// opposite-phase blocks between them), and charges the implied loss.  The
+// merged-block counter below exposes how often this reconstruction fired.
 class QBitObserver final : public sim::PacketSink {
 public:
     struct Block {
@@ -70,8 +72,9 @@ public:
 
     [[nodiscard]] const std::vector<Block>& blocks() const noexcept { return blocks_; }
     [[nodiscard]] std::uint64_t observed_packets() const noexcept { return observed_; }
-    // Packets inferred lost across closed blocks (over-full merged blocks
-    // contribute zero; see the aliasing note above).
+    // Packets inferred lost across closed blocks, including losses
+    // reconstructed from merged (phase-straddling) runs; see the aliasing
+    // note above.
     [[nodiscard]] std::uint64_t lost_packets() const noexcept;
     [[nodiscard]] std::uint64_t expected_packets() const noexcept;
     // lost / expected over closed blocks; the passive estimate of the

@@ -4,6 +4,7 @@
 
 #include "obs/log.h"
 #include "obs/process_stats.h"
+#include "util/json.h"  // header-only writer; obs must not link bb_util
 
 namespace bb::obs {
 
@@ -108,68 +109,36 @@ Histogram& histogram(std::string_view name) { return Registry::instance().histog
 
 // --- JSON export -------------------------------------------------------------
 
-namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
-    for (const char c : s) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-    }
-}
-
-}  // namespace
-
 std::string metrics_json() {
     const Registry::Snapshot snap = Registry::instance().snapshot();
-    std::string out = "{\n  \"counters\": {";
-    char buf[192];
-    bool first = true;
-    for (const auto& [name, value] : snap.counters) {
-        out += first ? "\n" : ",\n";
-        first = false;
-        out += "    \"";
-        append_escaped(out, name);
-        std::snprintf(buf, sizeof buf, "\": %llu", static_cast<unsigned long long>(value));
-        out += buf;
-    }
-    out += "\n  },\n  \"gauges\": {";
-    first = true;
-    for (const auto& [name, value] : snap.gauges) {
-        out += first ? "\n" : ",\n";
-        first = false;
-        out += "    \"";
-        append_escaped(out, name);
-        std::snprintf(buf, sizeof buf, "\": %.9g", value);
-        out += buf;
-    }
-    out += "\n  },\n  \"histograms\": {";
-    first = true;
+    JsonWriter w{JsonWriter::Options{.indent = 2, .space_after_colon = true}};
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : snap.counters) w.key(name).value_uint(value);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, value] : snap.gauges) w.key(name).value_double(value, "%.9g");
+    w.end_object();
+    w.key("histograms").begin_object();
     for (const auto& [name, h] : snap.histograms) {
-        out += first ? "\n" : ",\n";
-        first = false;
-        out += "    \"";
-        append_escaped(out, name);
-        std::snprintf(buf, sizeof buf,
-                      "\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.6g, "
-                      "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, \"buckets\": [",
-                      static_cast<unsigned long long>(h.count),
-                      static_cast<unsigned long long>(h.sum), h.mean(),
-                      static_cast<unsigned long long>(h.quantile(0.50)),
-                      static_cast<unsigned long long>(h.quantile(0.95)),
-                      static_cast<unsigned long long>(h.quantile(0.99)));
-        out += buf;
-        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
-            std::snprintf(buf, sizeof buf, "%s[%llu, %llu]", i > 0 ? ", " : "",
-                          static_cast<unsigned long long>(h.buckets[i].first),
-                          static_cast<unsigned long long>(h.buckets[i].second));
-            out += buf;
+        w.key(name).begin_object_inline();
+        w.key("count").value_uint(h.count);
+        w.key("sum").value_uint(h.sum);
+        w.key("mean").value_double(h.mean(), "%.6g");
+        w.key("p50").value_uint(h.quantile(0.50));
+        w.key("p95").value_uint(h.quantile(0.95));
+        w.key("p99").value_uint(h.quantile(0.99));
+        w.key("buckets").begin_array_inline();
+        for (const auto& [lower_bound, count] : h.buckets) {
+            w.begin_array_inline().value_uint(lower_bound).value_uint(count).end_array();
         }
-        out += "]}";
+        w.end_array();
+        w.end_object();
     }
-    out += "\n  },\n  \"process\": ";
-    out += process_stats_json(process_stats());
-    out += "\n}\n";
-    return out;
+    w.end_object();
+    w.key("process").value_raw(process_stats_json(process_stats()));
+    w.end_object();
+    return w.take() + "\n";
 }
 
 bool write_metrics_file(const std::string& path) {

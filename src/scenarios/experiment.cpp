@@ -97,6 +97,23 @@ probes::FixedIntervalProber& Experiment::add_fixed_prober(
     return *fixed_.back();
 }
 
+probes::StingProber& Experiment::add_sting(const probes::StingProber::Config& cfg) {
+    probes::StingProber::Config local = cfg;
+    if (local.flow == 0) local.flow = next_probe_flow_;
+    next_probe_flow_ = local.flow + 1;
+    if (local.stop == TimeNs::max()) local.stop = workload_cfg_.duration;
+    sting_.push_back(std::make_unique<probes::StingProber>(
+        testbed_.sched(), local, testbed_.forward_in(),
+        Rng{workload_cfg_.seed ^ (0x517ULL + local.flow)}));
+    // Data segments terminate at a live TCP responder on the far side; its
+    // ACKs come back over the reverse path to the prober.
+    sting_responders_.push_back(std::make_unique<tcp::TcpReceiver>(
+        testbed_.sched(), local.flow, testbed_.reverse_in()));
+    testbed_.fwd_demux().bind(local.flow, *sting_responders_.back());
+    testbed_.rev_demux().bind(local.flow, *sting_.back());
+    return *sting_.back();
+}
+
 void Experiment::run() {
     const obs::Span span{"experiment.run", "scenarios"};
     // Drain margin: a couple of RTTs so in-flight packets and ACKs settle.

@@ -9,9 +9,11 @@
 
 #include "measure/loss_monitor.h"
 #include "probes/badabing.h"
+#include "probes/sting.h"
 #include "probes/zing.h"
 #include "scenarios/testbed.h"
 #include "scenarios/workload.h"
+#include "tcp/tcp_receiver.h"
 
 namespace bb::scenarios {
 
@@ -43,6 +45,9 @@ public:
     probes::BadabingTool& add_badabing(const probes::BadabingConfig& cfg);
     probes::FixedIntervalProber& add_fixed_prober(
         const probes::FixedIntervalProber::Config& cfg);
+    // STING measures against a live TCP responder; this wires the prober, the
+    // far-side responder, and the reverse ACK path in one call.
+    probes::StingProber& add_sting(const probes::StingProber::Config& cfg);
 
     // Run the workload plus a drain margin so in-flight packets settle.
     void run();
@@ -73,6 +78,8 @@ private:
     std::vector<std::unique_ptr<probes::ZingProber>> zing_;
     std::vector<std::unique_ptr<probes::BadabingTool>> badabing_;
     std::vector<std::unique_ptr<probes::FixedIntervalProber>> fixed_;
+    std::vector<std::unique_ptr<probes::StingProber>> sting_;
+    std::vector<std::unique_ptr<tcp::TcpReceiver>> sting_responders_;
     sim::FlowId next_probe_flow_{7000};
     bool ran_{false};
 };

@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "util/contract.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -36,6 +37,17 @@ ReplicaResult run_one(const ReplicaPlan& plan, std::size_t index, std::uint64_t 
     r.offered_load = tool.offered_load_fraction(tb.bottleneck_rate_bps);
     r.queue_drops = exp.testbed().bottleneck().drops();
     for (const auto& hop : exp.testbed().upstream_hops()) r.queue_drops += hop->drops();
+    r.episodes = r.truth.episodes;
+    const auto& queue = exp.testbed().bottleneck();
+    const std::uint64_t ge_drops = exp.testbed().ge() ? exp.testbed().ge()->drops() : 0;
+    if (queue.arrivals() > 0) {
+        r.path_loss_rate = static_cast<double>(queue.drops() + ge_drops) /
+                           static_cast<double>(queue.arrivals());
+    }
+    if (auto* obs = exp.testbed().qbit_observer()) {
+        r.passive_loss_rate = obs->loss_rate();
+        r.qbit_merged_blocks = obs->merged_blocks();
+    }
     return r;
 }
 
@@ -50,12 +62,13 @@ AggregateStat collapse(const std::vector<double>& values, const ReplicaRunner::C
     return s;
 }
 
-void append_stat(std::string& out, const char* name, const AggregateStat& s) {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "\"%s\":{\"mean\":%.9g,\"stddev\":%.9g,\"ci_lo\":%.9g,\"ci_hi\":%.9g},",
-                  name, s.mean, s.stddev, s.ci.lo, s.ci.hi);
-    out += buf;
+void write_stat(JsonWriter& w, const char* name, const AggregateStat& s) {
+    w.key(name).begin_object();
+    w.key("mean").value_double(s.mean);
+    w.key("stddev").value_double(s.stddev);
+    w.key("ci_lo").value_double(s.ci.lo);
+    w.key("ci_hi").value_double(s.ci.hi);
+    w.end_object();
 }
 
 }  // namespace
@@ -132,49 +145,47 @@ AggregateRow ReplicaRunner::aggregate(const ReplicaPlan& plan,
 std::string aggregate_rows_json(const std::string& label, TimeNs slot_width,
                                 const std::vector<AggregateRow>& rows,
                                 const std::vector<std::vector<ReplicaResult>>& replicas) {
-    std::string out = "{\"label\":\"" + label + "\",\"rows\":[";
-    char buf[512];
+    JsonWriter w;  // compact house style: downstream plotters parse this byte format
+    w.begin_object();
+    w.key("label").value(label);
+    w.key("rows").begin_array();
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& row = rows[i];
-        if (i > 0) out += ',';
-        std::snprintf(buf, sizeof buf, "{\"p\":%.9g,\"replicas\":%zu,", row.p, row.replicas);
-        out += buf;
-        append_stat(out, "true_frequency", row.true_frequency);
-        append_stat(out, "est_frequency", row.est_frequency);
-        append_stat(out, "true_duration_s", row.true_duration_s);
-        append_stat(out, "est_duration_s", row.est_duration_s);
-        append_stat(out, "offered_load", row.offered_load);
+        w.begin_object();
+        w.key("p").value_double(row.p);
+        w.key("replicas").value_uint(row.replicas);
+        write_stat(w, "true_frequency", row.true_frequency);
+        write_stat(w, "est_frequency", row.est_frequency);
+        write_stat(w, "true_duration_s", row.true_duration_s);
+        write_stat(w, "est_duration_s", row.est_duration_s);
+        write_stat(w, "offered_load", row.offered_load);
         std::uint64_t total_drops = 0;
         std::uint64_t total_experiments = 0;
-        out += "\"trajectory\":[";
+        w.key("trajectory").begin_array();
         if (i < replicas.size()) {
-            for (std::size_t k = 0; k < replicas[i].size(); ++k) {
-                const auto& r = replicas[i][k];
-                if (k > 0) out += ',';
-                std::snprintf(buf, sizeof buf,
-                              "{\"replica\":%zu,\"seed\":%llu,\"true_frequency\":%.9g,"
-                              "\"est_frequency\":%.9g,\"true_duration_s\":%.9g,"
-                              "\"est_duration_s\":%.9g,\"queue_drops\":%llu,"
-                              "\"experiments\":%llu}",
-                              r.index, static_cast<unsigned long long>(r.seed),
-                              r.truth.frequency, r.est_frequency(), r.truth.mean_duration_s,
-                              r.est_duration_s(slot_width),
-                              static_cast<unsigned long long>(r.queue_drops),
-                              static_cast<unsigned long long>(r.result.experiments));
-                out += buf;
+            for (const auto& r : replicas[i]) {
+                w.begin_object();
+                w.key("replica").value_uint(r.index);
+                w.key("seed").value_uint(r.seed);
+                w.key("true_frequency").value_double(r.truth.frequency);
+                w.key("est_frequency").value_double(r.est_frequency());
+                w.key("true_duration_s").value_double(r.truth.mean_duration_s);
+                w.key("est_duration_s").value_double(r.est_duration_s(slot_width));
+                w.key("queue_drops").value_uint(r.queue_drops);
+                w.key("experiments").value_uint(r.result.experiments);
+                w.end_object();
                 total_drops += r.queue_drops;
                 total_experiments += r.result.experiments;
             }
         }
-        out += "],";
-        std::snprintf(buf, sizeof buf,
-                      "\"total_queue_drops\":%llu,\"total_experiments\":%llu}",
-                      static_cast<unsigned long long>(total_drops),
-                      static_cast<unsigned long long>(total_experiments));
-        out += buf;
+        w.end_array();
+        w.key("total_queue_drops").value_uint(total_drops);
+        w.key("total_experiments").value_uint(total_experiments);
+        w.end_object();
     }
-    out += "]}\n";
-    return out;
+    w.end_array();
+    w.end_object();
+    return w.take() + "\n";
 }
 
 }  // namespace bb::scenarios

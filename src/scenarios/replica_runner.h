@@ -49,6 +49,12 @@ struct ReplicaResult {
     // replica's testbed; lets the obs counters be cross-checked against the
     // run summary exactly.
     std::uint64_t queue_drops{0};
+    // Path-level extras used by the sweep engine's per-cell reports (the AQM
+    // ablation keys).  Zero when the relevant instrumentation is off.
+    std::size_t episodes{0};
+    double path_loss_rate{0.0};      // (queue + GE drops) / queue arrivals
+    double passive_loss_rate{0.0};   // Q-bit observer estimate of the same
+    std::uint64_t qbit_merged_blocks{0};
 
     [[nodiscard]] double est_frequency() const noexcept { return result.frequency.value; }
     [[nodiscard]] double est_duration_s(TimeNs slot_width) const noexcept {

@@ -134,6 +134,14 @@ bool FlagSet::assign(Flag& flag, const std::string& value) {
     return true;
 }
 
+void FlagSet::allow_positionals(std::size_t min_count, std::size_t max_count,
+                                std::string placeholder) {
+    positionals_allowed_ = true;
+    positionals_min_ = min_count;
+    positionals_max_ = max_count;
+    positionals_placeholder_ = std::move(placeholder);
+}
+
 bool FlagSet::parse(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -142,7 +150,16 @@ bool FlagSet::parse(int argc, const char* const* argv) {
             return false;
         }
         if (arg.rfind("--", 0) != 0) {
-            return fail("unexpected positional argument '" + arg + "'");
+            if (!positionals_allowed_) {
+                return fail("unexpected positional argument '" + arg + "'");
+            }
+            if (positionals_.size() >= positionals_max_) {
+                return fail("too many positional arguments (at most " +
+                            std::to_string(positionals_max_) + " " +
+                            positionals_placeholder_ + ")");
+            }
+            positionals_.push_back(arg);
+            continue;
         }
         arg = arg.substr(2);
         std::string value;
@@ -167,6 +184,10 @@ bool FlagSet::parse(int argc, const char* const* argv) {
         }
         if (!assign(*flag, value)) return false;
     }
+    if (positionals_allowed_ && positionals_.size() < positionals_min_) {
+        return fail("missing " + positionals_placeholder_ + " (expected at least " +
+                    std::to_string(positionals_min_) + ")");
+    }
     return true;
 }
 
@@ -174,7 +195,12 @@ bool FlagSet::parse(int argc, const char* const* argv) {
 // the direct-I/O ban is waived here.
 // bb-lint: allow-file(no-direct-io)
 void FlagSet::print_usage() const {
-    std::printf("%s - %s\n\nflags:\n", program_.c_str(), description_.c_str());
+    std::printf("%s - %s\n\n", program_.c_str(), description_.c_str());
+    if (positionals_allowed_) {
+        std::printf("usage: %s [flags] %s\n\n", program_.c_str(),
+                    positionals_placeholder_.c_str());
+    }
+    std::printf("flags:\n");
     for (const auto& f : flags_) {
         std::printf("  --%-18s %s (default: %s)\n", f->name.c_str(), f->help.c_str(),
                     f->default_repr.c_str());

@@ -36,8 +36,18 @@ public:
     [[nodiscard]] const bool* add_bool(const std::string& name, bool default_value,
                                        const std::string& help);
 
+    // Opt in to positional arguments (off by default).  `placeholder` names
+    // them in usage output; parse() then requires between min_count and
+    // max_count of them.
+    void allow_positionals(std::size_t min_count, std::size_t max_count,
+                           std::string placeholder);
+    [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+        return positionals_;
+    }
+
     // Parse argv.  On error or --help, prints to stderr/stdout and returns
-    // false.  Unknown flags and positional arguments are errors.
+    // false.  Unknown flags are errors; positional arguments are errors
+    // unless allow_positionals() was called.
     [[nodiscard]] bool parse(int argc, const char* const* argv);
 
     // True if the flag was explicitly set on the command line.
@@ -69,6 +79,11 @@ private:
     std::string description_;
     std::string error_;
     std::vector<std::unique_ptr<Flag>> flags_;
+    bool positionals_allowed_{false};
+    std::size_t positionals_min_{0};
+    std::size_t positionals_max_{0};
+    std::string positionals_placeholder_;
+    std::vector<std::string> positionals_;
 };
 
 }  // namespace bb

@@ -1,0 +1,499 @@
+#include "util/json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bb {
+
+namespace {
+
+// Recursive-descent parser with line/column tracking.  Strict by design:
+// configs are written by hand, so the parser's job is to reject typos with a
+// position instead of guessing.
+class Parser {
+public:
+    Parser(std::string_view text, std::string_view source) : text_{text}, source_{source} {}
+
+    [[nodiscard]] JsonParse run() {
+        JsonParse out;
+        skip_ws();
+        if (!parse_value(out.value)) {
+            out.error = error_;
+            return out;
+        }
+        skip_ws();
+        if (pos_ != text_.size()) {
+            set_error("trailing characters after the JSON document");
+            out.error = error_;
+            return out;
+        }
+        out.ok = true;
+        return out;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    void set_error(const std::string& message) {
+        if (!error_.empty()) return;
+        char pos[48];
+        std::snprintf(pos, sizeof pos, ":%d:%d: ", line_, column_);
+        error_ = std::string{source_} + pos + message;
+    }
+
+    [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+    char advance() noexcept {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void skip_ws() {
+        while (!eof()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            advance();
+        }
+    }
+
+    bool expect(char c, const char* what) {
+        if (eof() || peek() != c) {
+            set_error(std::string{"expected "} + what);
+            return false;
+        }
+        advance();
+        return true;
+    }
+
+    bool parse_value(JsonValue& out) {
+        if (++depth_ > kMaxDepth) {
+            set_error("nesting depth exceeds 64");
+            return false;
+        }
+        skip_ws();
+        if (eof()) {
+            set_error("unexpected end of input, expected a value");
+            return false;
+        }
+        out.line = line_;
+        out.column = column_;
+        bool ok = false;
+        switch (peek()) {
+            case '{':
+                ok = parse_object(out);
+                break;
+            case '[':
+                ok = parse_array(out);
+                break;
+            case '"':
+                out.kind = JsonValue::Kind::string;
+                ok = parse_string(out.string_value);
+                break;
+            case 't':
+            case 'f':
+                ok = parse_keyword(out);
+                break;
+            case 'n':
+                ok = parse_keyword(out);
+                break;
+            default:
+                ok = parse_number(out);
+                break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool parse_object(JsonValue& out) {
+        out.kind = JsonValue::Kind::object;
+        advance();  // '{'
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            advance();
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (eof() || peek() != '"') {
+                set_error("expected '\"' to start an object key");
+                return false;
+            }
+            const int key_line = line_;
+            const int key_column = column_;
+            std::string key;
+            if (!parse_string(key)) return false;
+            for (const auto& [existing, unused] : out.members) {
+                (void)unused;
+                if (existing == key) {
+                    line_ = key_line;
+                    column_ = key_column;
+                    set_error("duplicate key \"" + key + "\"");
+                    return false;
+                }
+            }
+            skip_ws();
+            if (!expect(':', "':' after object key")) return false;
+            JsonValue v;
+            if (!parse_value(v)) return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skip_ws();
+            if (eof()) {
+                set_error("unexpected end of input inside an object");
+                return false;
+            }
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            if (peek() == '}') {
+                advance();
+                return true;
+            }
+            set_error("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool parse_array(JsonValue& out) {
+        out.kind = JsonValue::Kind::array;
+        advance();  // '['
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            advance();
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parse_value(v)) return false;
+            out.items.push_back(std::move(v));
+            skip_ws();
+            if (eof()) {
+                set_error("unexpected end of input inside an array");
+                return false;
+            }
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            if (peek() == ']') {
+                advance();
+                return true;
+            }
+            set_error("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool parse_keyword(JsonValue& out) {
+        static constexpr struct {
+            const char* text;
+            JsonValue::Kind kind;
+            bool value;
+        } kKeywords[] = {
+            {"true", JsonValue::Kind::bool_v, true},
+            {"false", JsonValue::Kind::bool_v, false},
+            {"null", JsonValue::Kind::null_v, false},
+        };
+        for (const auto& kw : kKeywords) {
+            const std::size_t len = std::strlen(kw.text);
+            if (text_.substr(pos_, len) == kw.text) {
+                for (std::size_t i = 0; i < len; ++i) advance();
+                out.kind = kw.kind;
+                out.bool_value = kw.value;
+                return true;
+            }
+        }
+        set_error("invalid literal (expected true, false, or null)");
+        return false;
+    }
+
+    bool parse_number(JsonValue& out) {
+        const std::size_t start = pos_;
+        if (!eof() && peek() == '-') advance();
+        bool saw_digit = false;
+        bool integral = true;
+        while (!eof()) {
+            const char c = peek();
+            if (c >= '0' && c <= '9') {
+                saw_digit = true;
+                advance();
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+                integral = false;
+                advance();
+            } else {
+                break;
+            }
+        }
+        if (!saw_digit) {
+            set_error("invalid character, expected a JSON value");
+            return false;
+        }
+        const std::string literal{text_.substr(start, pos_ - start)};
+        char* end = nullptr;
+        const double v = std::strtod(literal.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            set_error("malformed number '" + literal + "'");
+            return false;
+        }
+        out.kind = JsonValue::Kind::number;
+        out.number_value = v;
+        if (integral) {
+            errno = 0;
+            char* iend = nullptr;
+            const long long iv = std::strtoll(literal.c_str(), &iend, 10);
+            if (errno == 0 && iend != nullptr && *iend == '\0') {
+                out.number_is_int = true;
+                out.int_value = iv;
+            }
+        }
+        return true;
+    }
+
+    bool parse_string(std::string& out) {
+        advance();  // opening quote
+        out.clear();
+        while (true) {
+            if (eof()) {
+                set_error("unterminated string");
+                return false;
+            }
+            const char c = advance();
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                set_error("raw control character in string (use \\u escapes)");
+                return false;
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (eof()) {
+                set_error("unterminated escape sequence");
+                return false;
+            }
+            const char esc = advance();
+            switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof()) {
+                            set_error("unterminated \\u escape");
+                            return false;
+                        }
+                        const char h = advance();
+                        code <<= 4U;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            set_error("invalid hex digit in \\u escape");
+                            return false;
+                        }
+                    }
+                    // Basic-plane code point to UTF-8 (surrogates rejected:
+                    // config files have no business containing them).
+                    if (code >= 0xD800 && code <= 0xDFFF) {
+                        set_error("surrogate \\u escapes are not supported");
+                        return false;
+                    }
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+                        out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+                    } else {
+                        out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+                        out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+                        out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+                    }
+                    break;
+                }
+                default:
+                    set_error("invalid escape sequence");
+                    return false;
+            }
+        }
+    }
+
+    std::string_view text_;
+    std::string_view source_;
+    std::size_t pos_{0};
+    int line_{1};
+    int column_{1};
+    int depth_{0};
+    std::string error_;
+};
+
+void canonical_append(std::string& out, const JsonValue& v) {
+    switch (v.kind) {
+        case JsonValue::Kind::null_v:
+            out += "null";
+            break;
+        case JsonValue::Kind::bool_v:
+            out += v.bool_value ? "true" : "false";
+            break;
+        case JsonValue::Kind::number: {
+            char buf[64];
+            if (v.number_is_int) {
+                std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v.int_value));
+            } else {
+                std::snprintf(buf, sizeof buf, "%.17g", v.number_value);
+            }
+            out += buf;
+            break;
+        }
+        case JsonValue::Kind::string:
+            out.push_back('"');
+            JsonWriter::append_escaped(out, v.string_value);
+            out.push_back('"');
+            break;
+        case JsonValue::Kind::array: {
+            out.push_back('[');
+            for (std::size_t i = 0; i < v.items.size(); ++i) {
+                if (i > 0) out.push_back(',');
+                canonical_append(out, v.items[i]);
+            }
+            out.push_back(']');
+            break;
+        }
+        case JsonValue::Kind::object: {
+            std::vector<const std::pair<std::string, JsonValue>*> sorted;
+            sorted.reserve(v.members.size());
+            for (const auto& m : v.members) sorted.push_back(&m);
+            std::sort(sorted.begin(), sorted.end(),
+                      [](const auto* a, const auto* b) { return a->first < b->first; });
+            out.push_back('{');
+            for (std::size_t i = 0; i < sorted.size(); ++i) {
+                if (i > 0) out.push_back(',');
+                out.push_back('"');
+                JsonWriter::append_escaped(out, sorted[i]->first);
+                out += "\":";
+                canonical_append(out, sorted[i]->second);
+            }
+            out.push_back('}');
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+JsonParse json_parse(std::string_view text, std::string_view source_name) {
+    return Parser{text, source_name}.run();
+}
+
+// Config files are read wholesale into memory; the parser owns the error
+// reporting, so the direct-I/O ban is waived for this single loader.
+// bb-lint: allow(no-direct-io)
+JsonParse json_parse_file(const std::string& path) {
+    JsonParse out;
+    std::FILE* f = std::fopen(path.c_str(), "rb");  // bb-lint: allow(no-direct-io)
+    if (f == nullptr) {
+        out.error = path + ": cannot open file";
+        return out;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);  // bb-lint: allow(no-direct-io)
+    const bool read_ok = std::ferror(f) == 0;
+    std::fclose(f);  // bb-lint: allow(no-direct-io)
+    if (!read_ok) {
+        out.error = path + ": read error";
+        return out;
+    }
+    return json_parse(text, path);
+}
+
+std::string json_canonical(const JsonValue& v) {
+    std::string out;
+    canonical_append(out, v);
+    return out;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::string fnv1a64_hex(std::string_view bytes) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(bytes)));
+    return std::string{buf};
+}
+
+bool json_set_path(JsonValue& doc, std::string_view dotted_path, JsonValue value,
+                   std::string& error) {
+    JsonValue* node = &doc;
+    std::string_view rest = dotted_path;
+    while (true) {
+        const std::size_t dot = rest.find('.');
+        const std::string_view seg = rest.substr(0, dot);
+        if (seg.empty()) {
+            error = "empty segment in path \"" + std::string{dotted_path} + "\"";
+            return false;
+        }
+        if (!node->is_object()) {
+            error = "path \"" + std::string{dotted_path} +
+                    "\" traverses a non-object value";
+            return false;
+        }
+        JsonValue* child = nullptr;
+        for (auto& [k, v] : node->members) {
+            if (k == seg) {
+                child = &v;
+                break;
+            }
+        }
+        if (child == nullptr) {
+            JsonValue fresh;
+            if (dot != std::string_view::npos) fresh.kind = JsonValue::Kind::object;
+            node->members.emplace_back(std::string{seg}, std::move(fresh));
+            child = &node->members.back().second;
+        }
+        if (dot == std::string_view::npos) {
+            *child = std::move(value);
+            return true;
+        }
+        node = child;
+        rest = rest.substr(dot + 1);
+    }
+}
+
+const JsonValue* json_get_path(const JsonValue& doc, std::string_view dotted_path) noexcept {
+    const JsonValue* node = &doc;
+    std::string_view rest = dotted_path;
+    while (true) {
+        const std::size_t dot = rest.find('.');
+        node = node->find(rest.substr(0, dot));
+        if (node == nullptr || dot == std::string_view::npos) return node;
+        rest = rest.substr(dot + 1);
+    }
+}
+
+}  // namespace bb

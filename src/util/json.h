@@ -1,0 +1,271 @@
+// Dependency-free JSON layer: a streaming writer and a strict reader.
+//
+// Writer — JsonWriter replaces the three hand-rolled emitters that grew in
+// tools/bench (obs metrics, BENCH_*.json, replica aggregate JSON).  It is
+// header-only because obs cannot link bb_util (bb_util links bb_obs PUBLIC),
+// and it reproduces all three house styles byte-for-byte:
+//
+//   * compact      — Options{} :              {"a":1,"b":[2,3]}
+//   * pretty       — Options{2, true} :       2-space indent, ": " after keys,
+//                                             "," placed before the newline
+//   * inline       — begin_*_inline() :       a single-line container inside a
+//                                             pretty document, ", " separators
+//
+// Reader — JsonValue + json_parse: a small strict recursive-descent parser
+// (no comments, no trailing commas, duplicate keys rejected) that records the
+// source line/column of every value so config loaders can produce one-line
+// file:line diagnostics.  The parser lives in json.cpp (bb_util).
+#ifndef BB_UTIL_JSON_H
+#define BB_UTIL_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bb {
+
+// --- Writer ------------------------------------------------------------------
+
+class JsonWriter {
+public:
+    struct Options {
+        int indent{0};                // spaces per nesting level; 0 = compact
+        bool space_after_colon{false};
+    };
+
+    JsonWriter() = default;
+    explicit JsonWriter(Options opt) : opt_{opt} {}
+
+    JsonWriter& begin_object() { return open('{', '}', false); }
+    JsonWriter& begin_array() { return open('[', ']', false); }
+    // Single-line container inside a pretty document: {"count": 3, "sum": 9}.
+    JsonWriter& begin_object_inline() { return open('{', '}', true); }
+    JsonWriter& begin_array_inline() { return open('[', ']', true); }
+
+    JsonWriter& end_object() { return close(); }
+    JsonWriter& end_array() { return close(); }
+
+    JsonWriter& key(std::string_view k) {
+        item_prefix();
+        out_.push_back('"');
+        append_escaped(out_, k);
+        out_.push_back('"');
+        out_ += opt_.space_after_colon ? ": " : ":";
+        pending_value_ = true;
+        return *this;
+    }
+
+    JsonWriter& value(std::string_view s) {
+        item_prefix();
+        out_.push_back('"');
+        append_escaped(out_, s);
+        out_.push_back('"');
+        return *this;
+    }
+    JsonWriter& value(const char* s) { return value(std::string_view{s}); }
+    JsonWriter& value(bool b) {
+        item_prefix();
+        out_ += b ? "true" : "false";
+        return *this;
+    }
+    JsonWriter& value_null() {
+        item_prefix();
+        out_ += "null";
+        return *this;
+    }
+    JsonWriter& value_int(std::int64_t v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        return value_raw(buf);
+    }
+    JsonWriter& value_uint(std::uint64_t v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+        return value_raw(buf);
+    }
+    // `fmt` must be a printf conversion for one double; the house styles are
+    // "%.9g" (tables), "%.6g" (histogram means) and "%.17g" (round-trip).
+    JsonWriter& value_double(double v, const char* fmt = "%.9g") {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, fmt, v);
+        return value_raw(buf);
+    }
+    // Pre-rendered fragment spliced in verbatim (e.g. a nested JSON document).
+    JsonWriter& value_raw(std::string_view fragment) {
+        item_prefix();
+        out_ += fragment;
+        return *this;
+    }
+
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+    [[nodiscard]] std::string take() { return std::move(out_); }
+
+    // Escapes the two characters the house emitters escape plus control
+    // characters (which would otherwise produce invalid JSON).
+    static void append_escaped(std::string& out, std::string_view s) {
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                out.push_back('\\');
+                out.push_back(c);
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+
+private:
+    struct Frame {
+        char close;
+        bool is_inline;
+        bool has_items;
+    };
+
+    [[nodiscard]] bool pretty() const noexcept { return opt_.indent > 0; }
+
+    void item_prefix() {
+        if (pending_value_) {
+            pending_value_ = false;
+            return;
+        }
+        if (stack_.empty()) return;
+        Frame& f = stack_.back();
+        if (pretty() && !f.is_inline) {
+            if (f.has_items) out_.push_back(',');
+            out_.push_back('\n');
+            out_.append(static_cast<std::size_t>(opt_.indent) * stack_.size(), ' ');
+        } else if (f.has_items) {
+            out_ += pretty() ? ", " : ",";
+        }
+        f.has_items = true;
+    }
+
+    JsonWriter& open(char open_ch, char close_ch, bool is_inline) {
+        item_prefix();
+        out_.push_back(open_ch);
+        stack_.push_back(Frame{close_ch, is_inline, false});
+        return *this;
+    }
+
+    JsonWriter& close() {
+        const Frame f = stack_.back();
+        stack_.pop_back();
+        if (pretty() && !f.is_inline) {
+            out_.push_back('\n');
+            out_.append(static_cast<std::size_t>(opt_.indent) * stack_.size(), ' ');
+        }
+        out_.push_back(f.close);
+        return *this;
+    }
+
+    Options opt_{};
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool pending_value_{false};
+};
+
+// --- Reader ------------------------------------------------------------------
+
+// Parsed JSON document node.  Object member order is source order; duplicate
+// keys are a parse error, so lookups are unambiguous.
+struct JsonValue {
+    enum class Kind : std::uint8_t { null_v, bool_v, number, string, array, object };
+
+    Kind kind{Kind::null_v};
+    bool bool_value{false};
+    double number_value{0.0};
+    // True when the literal had no '.', exponent, or overflow — int_value is
+    // then the exact integer (config block sizes, seeds, slot counts).
+    bool number_is_int{false};
+    std::int64_t int_value{0};
+    std::string string_value;
+    std::vector<JsonValue> items;                            // array elements
+    std::vector<std::pair<std::string, JsonValue>> members;  // object members
+    int line{0};  // 1-based position of the value's first character
+    int column{0};
+
+    [[nodiscard]] bool is_null() const noexcept { return kind == Kind::null_v; }
+    [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::bool_v; }
+    [[nodiscard]] bool is_number() const noexcept { return kind == Kind::number; }
+    [[nodiscard]] bool is_string() const noexcept { return kind == Kind::string; }
+    [[nodiscard]] bool is_array() const noexcept { return kind == Kind::array; }
+    [[nodiscard]] bool is_object() const noexcept { return kind == Kind::object; }
+
+    // Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept {
+        if (kind != Kind::object) return nullptr;
+        for (const auto& [k, v] : members) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+
+    [[nodiscard]] static JsonValue of_bool(bool b) {
+        JsonValue v;
+        v.kind = Kind::bool_v;
+        v.bool_value = b;
+        return v;
+    }
+    [[nodiscard]] static JsonValue of_number(double d) {
+        JsonValue v;
+        v.kind = Kind::number;
+        v.number_value = d;
+        return v;
+    }
+    [[nodiscard]] static JsonValue of_int(std::int64_t i) {
+        JsonValue v;
+        v.kind = Kind::number;
+        v.number_value = static_cast<double>(i);
+        v.number_is_int = true;
+        v.int_value = i;
+        return v;
+    }
+    [[nodiscard]] static JsonValue of_string(std::string s) {
+        JsonValue v;
+        v.kind = Kind::string;
+        v.string_value = std::move(s);
+        return v;
+    }
+};
+
+struct JsonParse {
+    bool ok{false};
+    JsonValue value;
+    // One line, "<source>:<line>:<col>: <message>" — ready to print verbatim.
+    std::string error;
+};
+
+// Strict parse of a complete JSON document (trailing garbage is an error).
+[[nodiscard]] JsonParse json_parse(std::string_view text,
+                                   std::string_view source_name = "<json>");
+
+// Reads `path` and parses it; unreadable files report through `error` too.
+[[nodiscard]] JsonParse json_parse_file(const std::string& path);
+
+// Canonical serialization: compact, object keys sorted, integers rendered as
+// integers and other numbers as shortest round-trip %.17g.  Two documents
+// with equal canonical forms are the same configuration — this is the input
+// to the sweep cache's config hash.
+[[nodiscard]] std::string json_canonical(const JsonValue& v);
+
+// FNV-1a 64-bit over bytes; hex form is the sweep cell's config hash key.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+[[nodiscard]] std::string fnv1a64_hex(std::string_view bytes);
+
+// Dotted-path helpers for sweep-axis substitution: "link.discipline" targets
+// doc["link"]["discipline"], creating intermediate objects as needed.  Fails
+// (with a one-line message) when a path segment traverses a non-object.
+bool json_set_path(JsonValue& doc, std::string_view dotted_path, JsonValue value,
+                   std::string& error);
+[[nodiscard]] const JsonValue* json_get_path(const JsonValue& doc,
+                                             std::string_view dotted_path) noexcept;
+
+}  // namespace bb
+
+#endif  // BB_UTIL_JSON_H

@@ -1,0 +1,209 @@
+// util/json tests: the streaming writer's three house styles, the strict
+// parser (happy paths and file:line diagnostics), the canonical form that
+// keys the sweep cache, and the dotted-path helpers used for axis splicing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace bb {
+namespace {
+
+// --- writer ------------------------------------------------------------------
+
+TEST(JsonWriter, CompactStyle) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("a").value_int(1);
+    w.key("b").begin_array().value_int(2).value_int(3).end_array();
+    w.key("s").value("x");
+    w.key("t").value(true);
+    w.key("n").value_null();
+    w.end_object();
+    EXPECT_EQ(w.str(), R"({"a":1,"b":[2,3],"s":"x","t":true,"n":null})");
+}
+
+TEST(JsonWriter, PrettyStyleCommaBeforeNewline) {
+    JsonWriter w{JsonWriter::Options{2, true}};
+    w.begin_object();
+    w.key("bench").value("micro");
+    w.key("events").value_int(100);
+    w.key("rows").begin_array();
+    w.begin_object_inline();
+    w.key("ms").value_double(1.5, "%.3f");
+    w.key("ok").value(false);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+    EXPECT_EQ(w.str(),
+              "{\n"
+              "  \"bench\": \"micro\",\n"
+              "  \"events\": 100,\n"
+              "  \"rows\": [\n"
+              "    {\"ms\": 1.500, \"ok\": false}\n"
+              "  ]\n"
+              "}");
+}
+
+TEST(JsonWriter, InlineContainerInsidePrettyDoc) {
+    JsonWriter w{JsonWriter::Options{2, true}};
+    w.begin_object();
+    w.key("tick").begin_object_inline();
+    w.key("new_mev_s").value_double(12.345, "%.3f");
+    w.key("speedup").value_double(2.0, "%.3f");
+    w.end_object();
+    w.key("list").begin_array_inline().value_int(1).value_int(2).end_array();
+    w.end_object();
+    EXPECT_EQ(w.str(),
+              "{\n"
+              "  \"tick\": {\"new_mev_s\": 12.345, \"speedup\": 2.000},\n"
+              "  \"list\": [1, 2]\n"
+              "}");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControls) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("k\"1").value("a\\b\n\t");
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\"k\\\"1\":\"a\\\\b\\u000a\\u0009\"}");
+}
+
+TEST(JsonWriter, DoubleFormatsMatchHouseStyles) {
+    JsonWriter w;
+    w.begin_array();
+    w.value_double(0.015416666666666667);            // default %.9g
+    w.value_double(0.015416666666666667, "%.17g");   // round-trip
+    w.value_double(3638.0, "%.6g");
+    w.value_uint(12183u);
+    w.end_array();
+    EXPECT_EQ(w.str(), "[0.0154166667,0.015416666666666667,3638,12183]");
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(JsonParse, HappyPathRecordsKindsAndPositions) {
+    const auto p = json_parse("{\n  \"a\": 1,\n  \"b\": [true, null, 2.5],\n"
+                              "  \"c\": \"s\"\n}",
+                              "cfg.json");
+    ASSERT_TRUE(p.ok) << p.error;
+    ASSERT_TRUE(p.value.is_object());
+    const JsonValue* a = p.value.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->number_is_int);
+    EXPECT_EQ(a->int_value, 1);
+    EXPECT_EQ(a->line, 2);
+    const JsonValue* b = p.value.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->items.size(), 3u);
+    EXPECT_TRUE(b->items[0].is_bool());
+    EXPECT_TRUE(b->items[1].is_null());
+    EXPECT_FALSE(b->items[2].number_is_int);
+    EXPECT_DOUBLE_EQ(b->items[2].number_value, 2.5);
+    EXPECT_EQ(b->line, 3);
+    EXPECT_EQ(p.value.find("c")->string_value, "s");
+}
+
+TEST(JsonParse, NegativeAndExponentNumbers) {
+    const auto p = json_parse(R"([-3, 1e3, -2.5e-2, 9223372036854775807])");
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.value.items[0].int_value, -3);
+    EXPECT_FALSE(p.value.items[1].number_is_int);
+    EXPECT_DOUBLE_EQ(p.value.items[1].number_value, 1000.0);
+    EXPECT_DOUBLE_EQ(p.value.items[2].number_value, -0.025);
+    EXPECT_EQ(p.value.items[3].int_value, 9223372036854775807LL);
+}
+
+TEST(JsonParse, StringEscapes) {
+    const auto p = json_parse(R"(["a\"b", "c\\d", "e\nf", "A"])");
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.value.items[0].string_value, "a\"b");
+    EXPECT_EQ(p.value.items[1].string_value, "c\\d");
+    EXPECT_EQ(p.value.items[2].string_value, "e\nf");
+    EXPECT_EQ(p.value.items[3].string_value, "A");
+}
+
+TEST(JsonParse, ErrorsCarrySourceLineAndColumn) {
+    const auto trailing = json_parse("{\"a\": 1,}", "bad.json");
+    ASSERT_FALSE(trailing.ok);
+    EXPECT_NE(trailing.error.find("bad.json:1:"), std::string::npos) << trailing.error;
+
+    const auto dup = json_parse("{\n\"a\": 1,\n\"a\": 2}", "dup.json");
+    ASSERT_FALSE(dup.ok);
+    EXPECT_NE(dup.error.find("dup.json:3:"), std::string::npos) << dup.error;
+    EXPECT_NE(dup.error.find("duplicate"), std::string::npos) << dup.error;
+
+    const auto garbage = json_parse("{\"a\": 1} extra", "g.json");
+    ASSERT_FALSE(garbage.ok);
+    EXPECT_NE(garbage.error.find("g.json:1:"), std::string::npos) << garbage.error;
+
+    const auto unterminated = json_parse("{\"a\": \"x", "u.json");
+    ASSERT_FALSE(unterminated.ok);
+    EXPECT_NE(unterminated.error.find("u.json:"), std::string::npos) << unterminated.error;
+
+    const auto comment = json_parse("// nope\n{}", "c.json");
+    ASSERT_FALSE(comment.ok);
+}
+
+TEST(JsonParse, MissingFileReportsThroughError) {
+    const auto p = json_parse_file("/nonexistent/definitely/missing.json");
+    ASSERT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("missing.json"), std::string::npos) << p.error;
+}
+
+// --- canonical form + hashing -----------------------------------------------
+
+TEST(JsonCanonical, SortsKeysAndRoundTripsNumbers) {
+    const auto a = json_parse(R"({"b": 2, "a": {"y": 0.1, "x": [1, 2.5]}})");
+    const auto b = json_parse("{\n  \"a\": {\"x\": [1, 2.5], \"y\": 0.1},\n  \"b\": 2\n}");
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(json_canonical(a.value), json_canonical(b.value));
+    EXPECT_EQ(json_canonical(a.value),
+              R"({"a":{"x":[1,2.5],"y":0.10000000000000001},"b":2})");
+}
+
+TEST(JsonCanonical, DifferentConfigsHashDifferently) {
+    const auto a = json_parse(R"({"p": 0.3})");
+    const auto b = json_parse(R"({"p": 0.5})");
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_NE(fnv1a64_hex(json_canonical(a.value)), fnv1a64_hex(json_canonical(b.value)));
+}
+
+TEST(Fnv1a64, KnownVectors) {
+    // Standard FNV-1a test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64_hex(""), "cbf29ce484222325");
+}
+
+// --- dotted-path helpers ------------------------------------------------------
+
+TEST(JsonPath, SetCreatesIntermediateObjectsAndGetReadsBack) {
+    auto doc = json_parse("{}").value;
+    std::string err;
+    ASSERT_TRUE(json_set_path(doc, "link.ge.enabled", JsonValue::of_bool(true), err))
+        << err;
+    const JsonValue* v = json_get_path(doc, "link.ge.enabled");
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(v->is_bool());
+    EXPECT_TRUE(v->bool_value);
+    EXPECT_EQ(json_get_path(doc, "link.missing"), nullptr);
+}
+
+TEST(JsonPath, SetOverwritesExistingLeaf) {
+    auto doc = json_parse(R"({"probe": {"badabing": {"p": 0.3}}})").value;
+    std::string err;
+    ASSERT_TRUE(json_set_path(doc, "probe.badabing.p", JsonValue::of_number(0.7), err));
+    EXPECT_DOUBLE_EQ(json_get_path(doc, "probe.badabing.p")->number_value, 0.7);
+}
+
+TEST(JsonPath, SetThroughNonObjectFails) {
+    auto doc = json_parse(R"({"link": 3})").value;
+    std::string err;
+    EXPECT_FALSE(json_set_path(doc, "link.rate_mbps", JsonValue::of_int(20), err));
+    EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace bb

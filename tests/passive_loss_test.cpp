@@ -97,20 +97,43 @@ TEST(QBit, ShortBlocksExposeUpstreamLoss) {
     EXPECT_DOUBLE_EQ(observer.loss_rate(), 2.0 / 30.0);
 }
 
-TEST(QBit, WholeBlockLossAliasesIntoMergedBlock) {
+TEST(QBit, WholeBlockLossIsReconstructedFromMergedBlock) {
     sim::Scheduler sched;
     sim::CountingSink sink;
     measure::QBitObserver observer{5, sched, sink};
     // Drop ALL of block 2 (ids 6..10, the first `true` phase block): its two
-    // `false`-phase neighbours merge and the estimator undercounts — the
-    // documented aliasing limit, surfaced through merged_blocks().
+    // `false`-phase neighbours merge into one 10-packet run.  The observer
+    // must recognise the over-full run as two same-phase sender blocks with
+    // a fully-lost block between them and charge those 5 packets.
     SelectiveDropper path{{6, 7, 8, 9, 10}, observer};
     measure::QBitMarker marker{5, path};
     feed(marker, 25);  // 5 sender blocks
     observer.finalize();
     EXPECT_EQ(observer.merged_blocks(), 1u);
-    EXPECT_EQ(observer.lost_packets(), 0u) << "merged blocks hide the vanished block";
-    EXPECT_GT(observer.observed_packets(), 0u);
+    EXPECT_EQ(observer.lost_packets(), 5u);
+    EXPECT_EQ(observer.expected_packets(), 25u);
+    EXPECT_DOUBLE_EQ(observer.loss_rate(), 5.0 / 25.0);
+}
+
+TEST(QBit, MergedBlockRegressionPinsPreviouslyAliasedCase) {
+    // Regression for the merged-block aliasing bug: with block size 4 and
+    // packets 5..8 (the middle sender block) dropped, the two neighbouring
+    // same-phase blocks straddle the vanished phase and arrive as one
+    // 8-packet run.  The old estimator reported a 0.0 loss rate here; the
+    // reconstruction must report 4 lost of 12 expected.
+    sim::Scheduler sched;
+    sim::CountingSink sink;
+    measure::QBitObserver observer{4, sched, sink};
+    SelectiveDropper path{{5, 6, 7, 8}, observer};
+    measure::QBitMarker marker{4, path};
+    feed(marker, 12);  // 3 sender blocks
+    observer.finalize();
+    ASSERT_EQ(observer.blocks().size(), 1u);
+    EXPECT_EQ(observer.blocks()[0].observed, 8u);
+    EXPECT_EQ(observer.merged_blocks(), 1u);
+    EXPECT_EQ(observer.lost_packets(), 4u);
+    EXPECT_EQ(observer.expected_packets(), 12u);
+    EXPECT_DOUBLE_EQ(observer.loss_rate(), 1.0 / 3.0);
 }
 
 TEST(QBit, PartialTailBlockIsIgnored) {

@@ -1,0 +1,279 @@
+// Sweep-engine tests: spec parsing and axis conflicts, grid expansion order,
+// config-hash stability/invalidation, and the on-disk cell cache (cold run
+// computes, warm run hits, an edited axis value invalidates only the cells it
+// touches).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenarios/sweep.h"
+
+namespace bb::scenarios {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kTwoCellSweep = R"({
+  "name": "t",
+  "base": {
+    "link": {"rate_mbps": 20},
+    "traffic": {"kind": "cbr_uniform", "duration_s": 5, "mean_episode_gap_s": 2},
+    "run": {"replicas": 1, "seed": 7}
+  },
+  "axes": {
+    "link.discipline": ["drop_tail", "red"]
+  }
+})";
+
+SweepParseResult parse(const std::string& text) {
+    return load_sweep_spec_text(text, "sweep.json");
+}
+
+// --- parsing -----------------------------------------------------------------
+
+TEST(SweepParse, AcceptsNameBaseAxes) {
+    const auto r = parse(kTwoCellSweep);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.sweep.name, "t");
+    ASSERT_EQ(r.sweep.axes.size(), 1u);
+    EXPECT_EQ(r.sweep.axes[0].path, "link.discipline");
+    EXPECT_EQ(r.sweep.axes[0].values.size(), 2u);
+}
+
+TEST(SweepParse, MissingBaseRejected) {
+    const auto r = parse(R"({"axes": {"link.rate_mbps": [10, 20]}})");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("base"), std::string::npos) << r.error;
+}
+
+TEST(SweepParse, UnknownTopLevelKeyRejected) {
+    const auto r = parse(R"({"base": {}, "axis": {}})");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unknown key \"axis\""), std::string::npos) << r.error;
+}
+
+TEST(SweepParse, EmptyAxisValueListIsAConflict) {
+    const auto r = parse(R"({"base": {}, "axes": {"link.rate_mbps": []}})");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("conflicting axis"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("sweep.json:"), std::string::npos) << r.error;
+}
+
+TEST(SweepParse, OverlappingAxisPathsAreAConflict) {
+    const auto r = parse(R"({"base": {}, "axes": {
+      "link.ge": [1],
+      "link.ge.enabled": [true, false]
+    }})");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("conflicting axis"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("link.ge"), std::string::npos) << r.error;
+}
+
+TEST(SweepParse, NonScalarAxisValueRejected) {
+    const auto r = parse(R"({"base": {}, "axes": {"link.red": [{"weight": 1}]}})");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("must be scalars"), std::string::npos) << r.error;
+}
+
+// --- expansion ---------------------------------------------------------------
+
+TEST(SweepExpand, FirstAxisOutermostOrder) {
+    const auto r = parse(R"({
+      "base": {"traffic": {"duration_s": 5}},
+      "axes": {
+        "link.discipline": ["drop_tail", "red"],
+        "link.ge.enabled": [false, true]
+      }
+    })");
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto e = expand_sweep(r.sweep, "sweep.json");
+    ASSERT_TRUE(e.ok) << e.error;
+    ASSERT_EQ(e.cells.size(), 4u);
+    // discipline outermost, ge innermost: (dt,off) (dt,on) (red,off) (red,on)
+    EXPECT_EQ(e.cells[0].axis_values[0].second, "drop_tail");
+    EXPECT_EQ(e.cells[0].axis_values[1].second, "false");
+    EXPECT_EQ(e.cells[1].axis_values[0].second, "drop_tail");
+    EXPECT_EQ(e.cells[1].axis_values[1].second, "true");
+    EXPECT_EQ(e.cells[2].axis_values[0].second, "red");
+    EXPECT_EQ(e.cells[2].axis_values[1].second, "false");
+    EXPECT_EQ(e.cells[3].axis_values[0].second, "red");
+    EXPECT_EQ(e.cells[3].axis_values[1].second, "true");
+    // Axis values land in the resolved spec.
+    EXPECT_EQ(e.cells[0].spec.testbed.discipline, QueueDiscipline::drop_tail);
+    EXPECT_EQ(e.cells[3].spec.testbed.discipline, QueueDiscipline::red);
+    EXPECT_TRUE(e.cells[3].spec.testbed.ge_enabled);
+}
+
+TEST(SweepExpand, HashesAreStableAndDistinct) {
+    const auto r1 = parse(kTwoCellSweep);
+    const auto r2 = parse(kTwoCellSweep);
+    ASSERT_TRUE(r1.ok && r2.ok);
+    const auto e1 = expand_sweep(r1.sweep, "sweep.json");
+    const auto e2 = expand_sweep(r2.sweep, "sweep.json");
+    ASSERT_TRUE(e1.ok && e2.ok);
+    ASSERT_EQ(e1.cells.size(), 2u);
+    EXPECT_EQ(e1.cells[0].config_hash, e2.cells[0].config_hash);
+    EXPECT_EQ(e1.cells[1].config_hash, e2.cells[1].config_hash);
+    EXPECT_NE(e1.cells[0].config_hash, e1.cells[1].config_hash);
+}
+
+TEST(SweepExpand, EditingOneAxisValueInvalidatesOnlyItsCells) {
+    const auto before = parse(R"({
+      "base": {"traffic": {"duration_s": 5}},
+      "axes": {"probe.badabing.p": [0.1, 0.3, 0.5]}
+    })");
+    const auto after = parse(R"({
+      "base": {"traffic": {"duration_s": 5}},
+      "axes": {"probe.badabing.p": [0.1, 0.4, 0.5]}
+    })");
+    ASSERT_TRUE(before.ok && after.ok);
+    const auto eb = expand_sweep(before.sweep, "sweep.json");
+    const auto ea = expand_sweep(after.sweep, "sweep.json");
+    ASSERT_TRUE(eb.ok && ea.ok);
+    EXPECT_EQ(eb.cells[0].config_hash, ea.cells[0].config_hash);  // 0.1 untouched
+    EXPECT_NE(eb.cells[1].config_hash, ea.cells[1].config_hash);  // 0.3 -> 0.4
+    EXPECT_EQ(eb.cells[2].config_hash, ea.cells[2].config_hash);  // 0.5 untouched
+}
+
+TEST(SweepExpand, BadAxisValueFailsWithCellDiagnostic) {
+    const auto r = parse(R"({
+      "base": {"traffic": {"duration_s": 5}},
+      "axes": {"link.rate_mbps": [20, -1]}
+    })");
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto e = expand_sweep(r.sweep, "sweep.json");
+    ASSERT_FALSE(e.ok);
+    EXPECT_NE(e.error.find("rate_mbps"), std::string::npos) << e.error;
+}
+
+TEST(SweepExpand, AxisThroughNonObjectFails) {
+    const auto r = parse(R"({
+      "base": {"link": 3},
+      "axes": {"link.rate_mbps": [20]}
+    })");
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto e = expand_sweep(r.sweep, "sweep.json");
+    ASSERT_FALSE(e.ok);
+    EXPECT_NE(e.error.find("link.rate_mbps"), std::string::npos) << e.error;
+}
+
+// --- cached execution --------------------------------------------------------
+
+class SweepRunnerCache : public ::testing::Test {
+protected:
+    void SetUp() override {
+        // Per-test directory names: ctest runs each TEST_F as its own process
+        // in parallel, so a shared path would race.
+        const std::string test =
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+        out_dir_ = fs::temp_directory_path() / ("bb_sweep_" + test + "_out");
+        cache_dir_ = fs::temp_directory_path() / ("bb_sweep_" + test + "_cache");
+        fs::remove_all(out_dir_);
+        fs::remove_all(cache_dir_);
+    }
+    void TearDown() override {
+        fs::remove_all(out_dir_);
+        fs::remove_all(cache_dir_);
+    }
+
+    SweepRunner::RunOutcome run(const std::string& text) {
+        const auto r = load_sweep_spec_text(text, "sweep.json");
+        EXPECT_TRUE(r.ok) << r.error;
+        const auto e = expand_sweep(r.sweep, "sweep.json");
+        EXPECT_TRUE(e.ok) << e.error;
+        SweepRunner runner{{out_dir_.string(), cache_dir_.string(), 1}};
+        return runner.run(r.sweep.name, e.cells);
+    }
+
+    fs::path out_dir_;
+    fs::path cache_dir_;
+};
+
+TEST_F(SweepRunnerCache, ColdComputesWarmHitsAndResultsMatch) {
+    const auto cold = run(kTwoCellSweep);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.computed, 2u);
+    EXPECT_EQ(cold.cached, 0u);
+
+    const auto warm = run(kTwoCellSweep);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm.computed, 0u);
+    EXPECT_EQ(warm.cached, 2u);
+
+    ASSERT_EQ(cold.cells.size(), 2u);
+    ASSERT_EQ(warm.cells.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(warm.cells[i].config_hash, cold.cells[i].config_hash);
+        // The cached result document round-trips the computed one exactly.
+        EXPECT_EQ(json_canonical(warm.cells[i].result),
+                  json_canonical(cold.cells[i].result));
+    }
+}
+
+TEST_F(SweepRunnerCache, ChangedAxisValueRecomputesOnlyAffectedCells) {
+    const auto cold = run(kTwoCellSweep);
+    ASSERT_TRUE(cold.ok) << cold.error;
+
+    // Same sweep with one extra discipline: the two existing cells must be
+    // cache hits, only the new cell computes.
+    const std::string grown = R"({
+      "name": "t",
+      "base": {
+        "link": {"rate_mbps": 20},
+        "traffic": {"kind": "cbr_uniform", "duration_s": 5, "mean_episode_gap_s": 2},
+        "run": {"replicas": 1, "seed": 7}
+      },
+      "axes": {
+        "link.discipline": ["drop_tail", "red", "pie"]
+      }
+    })";
+    const auto second = run(grown);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.cached, 2u);
+    EXPECT_EQ(second.computed, 1u);
+}
+
+TEST_F(SweepRunnerCache, CorruptCacheEntryIsRecomputedNotTrusted) {
+    const auto cold = run(kTwoCellSweep);
+    ASSERT_TRUE(cold.ok) << cold.error;
+
+    // Truncate one cache file: the runner must recompute that cell.
+    std::size_t corrupted = 0;
+    for (const auto& entry : fs::directory_iterator(cache_dir_)) {
+        std::FILE* f = std::fopen(entry.path().c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{not json", f);
+        std::fclose(f);
+        ++corrupted;
+        break;
+    }
+    ASSERT_EQ(corrupted, 1u);
+
+    const auto again = run(kTwoCellSweep);
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.computed, 1u);
+    EXPECT_EQ(again.cached, 1u);
+}
+
+TEST_F(SweepRunnerCache, PerCellResultFilesLandInOutDir) {
+    const auto cold = run(kTwoCellSweep);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    std::set<std::string> names;
+    for (const auto& entry : fs::directory_iterator(out_dir_)) {
+        names.insert(entry.path().filename().string());
+    }
+    for (const auto& cell : cold.cells) {
+        EXPECT_TRUE(names.contains("t-" + cell.config_hash + ".json"))
+            << "missing per-cell result for " << cell.config_hash;
+    }
+    // Result docs embed their own config hash (the cache-validity token).
+    const JsonValue* hash = cold.cells[0].result.find("config_hash");
+    ASSERT_NE(hash, nullptr);
+    EXPECT_EQ(hash->string_value, cold.cells[0].config_hash);
+}
+
+}  // namespace
+}  // namespace bb::scenarios

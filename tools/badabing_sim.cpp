@@ -26,6 +26,7 @@
 #include "obs/trace.h"
 #include "scenarios/experiment.h"
 #include "scenarios/replica_runner.h"
+#include "scenarios/spec.h"
 #include "util/flags.h"
 #include "util/json_io.h"
 
@@ -172,6 +173,8 @@ int main(int argc, char** argv) {
 
     FlagSet flags{"badabing_sim",
                   "BADABING loss measurement on a simulated dumbbell (SIGCOMM'05 repro)"};
+    const auto* spec_path = flags.add_string(
+        "spec", "", "load a declarative scenario spec FILE; explicit flags override it");
     const auto* scenario =
         flags.add_string("scenario", "cbr", "traffic: tcp | cbr | cbr-multi | web");
     const auto* p = flags.add_double("p", 0.3, "probe (experiment) probability per 5 ms slot");
@@ -213,33 +216,70 @@ int main(int argc, char** argv) {
     if (!metrics_json->empty() || !trace_out->empty()) obs::set_enabled(true);
     if (!trace_out->empty()) obs::Trace::start();
 
-    if (*stream) {
-        const int rc = run_stream(*slots, *p, *improved, *mean_on, *mean_off,
-                                  static_cast<std::uint64_t>(*seed), *json,
-                                  *snapshot_slots);
+    // --spec supplies every layer's configuration; any flag the user also
+    // sets explicitly wins over the spec's value.
+    scenarios::ScenarioSpec spec;
+    bool have_spec = false;
+    if (!spec_path->empty()) {
+        auto sr = scenarios::load_scenario_spec_file(*spec_path);
+        if (!sr.ok) {
+            std::fprintf(stderr, "%s\n", sr.error.c_str());
+            return 1;
+        }
+        spec = std::move(sr.spec);
+        have_spec = true;
+    }
+
+    const bool stream_mode = *stream || (have_spec && spec.streaming &&
+                                         !flags.is_set("stream"));
+    const double probe_p = have_spec && !flags.is_set("p") ? spec.badabing.p : *p;
+    const bool probe_improved =
+        have_spec && !flags.is_set("improved") ? spec.badabing.improved : *improved;
+    const std::uint64_t run_seed = have_spec && !flags.is_set("seed")
+                                       ? spec.seed
+                                       : static_cast<std::uint64_t>(*seed);
+
+    if (stream_mode) {
+        const int rc = run_stream(*slots, probe_p, probe_improved, *mean_on, *mean_off,
+                                  run_seed, *json, *snapshot_slots);
         const int orc = finish_obs(*metrics_json, *trace_out);
         return rc != 0 ? rc : orc;
     }
 
-    scenarios::TestbedConfig tb;
-    tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
-    tb.discipline =
-        *red ? scenarios::QueueDiscipline::red : scenarios::QueueDiscipline::drop_tail;
-    tb.extra_hops = static_cast<int>(*hops);
-    tb.seed = static_cast<std::uint64_t>(*seed);
-
-    scenarios::WorkloadConfig wl;
-    if (!pick_scenario(*scenario, wl)) {
-        std::fprintf(stderr, "unknown --scenario '%s'\n", scenario->c_str());
-        return 1;
+    scenarios::TestbedConfig tb = have_spec ? spec.testbed : scenarios::TestbedConfig{};
+    if (!have_spec || flags.is_set("rate-mbps")) {
+        tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
     }
-    wl.duration = seconds_i(*duration_s);
-    wl.seed = static_cast<std::uint64_t>(*seed);
+    if (!have_spec || flags.is_set("red")) {
+        tb.discipline =
+            *red ? scenarios::QueueDiscipline::red : scenarios::QueueDiscipline::drop_tail;
+    }
+    if (!have_spec || flags.is_set("extra-hops")) tb.extra_hops = static_cast<int>(*hops);
+    if (!have_spec || flags.is_set("seed")) tb.seed = static_cast<std::uint64_t>(*seed);
 
-    scenarios::TruthConfig tc;
-    tc.delay_based = wl.kind == scenarios::TrafficKind::web;
+    scenarios::WorkloadConfig wl = have_spec ? spec.workload : scenarios::WorkloadConfig{};
+    if (!have_spec || flags.is_set("scenario")) {
+        if (!pick_scenario(*scenario, wl)) {
+            std::fprintf(stderr, "unknown --scenario '%s'\n", scenario->c_str());
+            return 1;
+        }
+    }
+    if (!have_spec || flags.is_set("duration-s")) wl.duration = seconds_i(*duration_s);
+    wl.seed = run_seed;
 
-    if (*replicas > 1 || !json->empty()) {
+    scenarios::TruthConfig tc = have_spec ? spec.truth : scenarios::TruthConfig{};
+    if (!have_spec) tc.delay_based = wl.kind == scenarios::TrafficKind::web;
+
+    const std::size_t n_replicas =
+        have_spec && !flags.is_set("replicas")
+            ? spec.replicas
+            : static_cast<std::size_t>(*replicas < 1 ? 1 : *replicas);
+    const std::size_t n_threads =
+        have_spec && !flags.is_set("threads")
+            ? spec.threads
+            : static_cast<std::size_t>(*threads < 0 ? 0 : *threads);
+
+    if (n_replicas > 1 || !json->empty()) {
         if (!trace->empty() || !design->empty()) {
             std::fprintf(stderr, "--trace/--design apply to single runs; ignored with "
                                  "--replicas/--json\n");
@@ -248,27 +288,34 @@ int main(int argc, char** argv) {
         plan.testbed = tb;
         plan.workload = wl;
         plan.truth = tc;
-        plan.probe.p = *p;
-        plan.probe.improved = *improved;
-        plan.probe.total_slots = 0;
+        plan.probe = have_spec ? spec.badabing : probes::BadabingConfig{};
+        plan.probe.p = probe_p;
+        plan.probe.improved = probe_improved;
+        if (!have_spec) plan.probe.total_slots = 0;
+        if (have_spec) plan.estimator = spec.estimator;
+        if (have_spec && (spec.marking_alpha || spec.marking_tau)) {
+            plan.marking = scenarios::marking_for(spec);
+        }
         if (*alpha >= 0.0 || *tau_ms >= 0) {
             core::MarkingConfig m;
-            m.tau = scenarios::tau_for_probe_rate(*p, plan.probe.slot_width);
-            m.alpha = scenarios::alpha_for_probe_rate(*p);
+            m.tau = scenarios::tau_for_probe_rate(probe_p, plan.probe.slot_width);
+            m.alpha = scenarios::alpha_for_probe_rate(probe_p);
+            if (plan.marking) m = *plan.marking;
             if (*alpha >= 0.0) m.alpha = *alpha;
             if (*tau_ms >= 0) m.tau = milliseconds(*tau_ms);
             plan.marking = m;
         }
 
         scenarios::ReplicaRunner::Config rc;
-        rc.replicas = static_cast<std::size_t>(*replicas < 1 ? 1 : *replicas);
-        rc.threads = static_cast<std::size_t>(*threads < 0 ? 0 : *threads);
-        rc.master_seed = static_cast<std::uint64_t>(*seed);
+        rc.replicas = n_replicas;
+        rc.threads = n_threads;
+        rc.master_seed = run_seed;
         const scenarios::ReplicaRunner runner{rc};
 
-        std::printf("running %zu replicas of %s for %lld s at %lld Mb/s (p = %.2f%s)...\n",
-                    rc.replicas, scenario->c_str(), static_cast<long long>(*duration_s),
-                    static_cast<long long>(*rate_mbps), *p, *improved ? ", improved" : "");
+        std::printf("running %zu replicas of %s for %.0f s at %lld Mb/s (p = %.2f%s)...\n",
+                    rc.replicas, scenario->c_str(), wl.duration.to_seconds(),
+                    static_cast<long long>(tb.bottleneck_rate_bps / 1'000'000), probe_p,
+                    probe_improved ? ", improved" : "");
         const auto results = runner.run(plan);
         const auto agg = runner.aggregate(plan, results);
 
@@ -306,23 +353,27 @@ int main(int argc, char** argv) {
     }
 
     scenarios::Experiment exp{tb, wl, tc};
-    probes::BadabingConfig bc;
-    bc.p = *p;
-    bc.improved = *improved;
-    bc.total_slots = 0;
+    probes::BadabingConfig bc = have_spec ? spec.badabing : probes::BadabingConfig{};
+    bc.p = probe_p;
+    bc.improved = probe_improved;
+    if (!have_spec) bc.total_slots = 0;
     auto& tool = exp.add_badabing(bc);
 
-    std::printf("running %s for %lld s at %lld Mb/s (p = %.2f%s)...\n", scenario->c_str(),
-                static_cast<long long>(*duration_s), static_cast<long long>(*rate_mbps), *p,
-                *improved ? ", improved" : "");
+    std::printf("running %s for %.0f s at %lld Mb/s (p = %.2f%s)...\n", scenario->c_str(),
+                wl.duration.to_seconds(),
+                static_cast<long long>(tb.bottleneck_rate_bps / 1'000'000), probe_p,
+                probe_improved ? ", improved" : "");
     exp.run();
 
-    core::MarkingConfig marking = exp.default_marking(*p);
+    core::MarkingConfig marking = have_spec && (spec.marking_alpha || spec.marking_tau)
+                                      ? scenarios::marking_for(spec)
+                                      : exp.default_marking(probe_p);
     if (*alpha >= 0.0) marking.alpha = *alpha;
     if (*tau_ms >= 0) marking.tau = milliseconds(*tau_ms);
 
     const auto truth = exp.truth();
-    const auto res = tool.analyze(marking);
+    const auto res = tool.analyze(marking, have_spec ? spec.estimator
+                                                     : core::EstimatorOptions{});
 
     std::printf("\nground truth : frequency %.4f | duration %.3f s (sigma %.3f) | "
                 "%zu episodes\n",

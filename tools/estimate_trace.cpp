@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/process_stats.h"
 #include "obs/trace.h"
+#include "scenarios/spec.h"
 #include "util/flags.h"
 
 namespace {
@@ -54,6 +55,9 @@ int main(int argc, char** argv) {
     using namespace bb::core;
 
     FlagSet flags{"estimate_trace", "offline BADABING estimation from a probe trace"};
+    const auto* spec_path = flags.add_string(
+        "spec", "",
+        "scenario spec FILE supplying slot width + marking; explicit flags override it");
     const auto* trace_path = flags.add_string("trace", "", "probe trace file (required)");
     const auto* design_path = flags.add_string("design", "", "experiment design file (required)");
     const auto* slot_ms = flags.add_int("slot-ms", 5, "slot width used by the sender, ms");
@@ -78,12 +82,28 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    // --spec carries the sender's slot width and the marking rule so analysis
+    // of a recorded trace uses the same configuration that produced it.
+    scenarios::ScenarioSpec spec;
+    bool have_spec = false;
+    if (!spec_path->empty()) {
+        auto sr = scenarios::load_scenario_spec_file(*spec_path);
+        if (!sr.ok) {
+            std::fprintf(stderr, "%s\n", sr.error.c_str());
+            return 1;
+        }
+        spec = std::move(sr.spec);
+        have_spec = true;
+    }
+
     const auto probes = read_trace_file(*trace_path);
-    const TimeNs slot = milliseconds(*slot_ms);
+    const TimeNs slot = have_spec && !flags.is_set("slot-ms") ? spec.badabing.slot_width
+                                                              : milliseconds(*slot_ms);
 
     MarkingConfig marking;
-    marking.alpha = *alpha;
-    marking.tau = milliseconds(*tau_ms);
+    if (have_spec) marking = scenarios::marking_for(spec);
+    if (!have_spec || flags.is_set("alpha")) marking.alpha = *alpha;
+    if (!have_spec || flags.is_set("tau-ms")) marking.tau = milliseconds(*tau_ms);
     CongestionMarker marker{marking};
     const auto marks = marker.mark(probes);
 
@@ -195,7 +215,8 @@ int main(int argc, char** argv) {
     if (*replicates > 0) {
         BootstrapConfig bcfg;
         bcfg.replicates = static_cast<std::size_t>(*replicates);
-        Rng rng{static_cast<std::uint64_t>(*seed)};
+        Rng rng{have_spec && !flags.is_set("seed") ? spec.seed
+                                                   : static_cast<std::uint64_t>(*seed)};
         const auto ci = bootstrap_estimates(results, bcfg, rng);
         if (ci.frequency.valid) {
             std::printf("bootstrap    : frequency %.5f [%.5f, %.5f] (90%%)\n",

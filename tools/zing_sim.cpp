@@ -10,6 +10,7 @@
 #include "obs/process_stats.h"
 #include "obs/trace.h"
 #include "scenarios/experiment.h"
+#include "scenarios/spec.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -17,6 +18,8 @@ int main(int argc, char** argv) {
 
     FlagSet flags{"zing_sim",
                   "Poisson-modulated loss probing on a simulated dumbbell (SIGCOMM'05 repro)"};
+    const auto* spec_path = flags.add_string(
+        "spec", "", "load a declarative scenario spec FILE; explicit flags override it");
     const auto* scenario =
         flags.add_string("scenario", "cbr", "traffic: tcp | cbr | cbr-multi | web");
     const auto* hz = flags.add_double("hz", 10.0, "mean probe rate, probes per second");
@@ -35,39 +38,61 @@ int main(int argc, char** argv) {
     if (!metrics_json->empty() || !trace_out->empty()) obs::set_enabled(true);
     if (!trace_out->empty()) obs::Trace::start();
 
-    scenarios::TestbedConfig tb;
-    tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
-
-    scenarios::WorkloadConfig wl;
-    if (*scenario == "tcp") {
-        wl.kind = scenarios::TrafficKind::infinite_tcp;
-    } else if (*scenario == "cbr") {
-        wl.kind = scenarios::TrafficKind::cbr_uniform;
-    } else if (*scenario == "cbr-multi") {
-        wl.kind = scenarios::TrafficKind::cbr_multi;
-        wl.episode_durations = {milliseconds(50), milliseconds(100), milliseconds(150)};
-    } else if (*scenario == "web") {
-        wl.kind = scenarios::TrafficKind::web;
-    } else {
-        std::fprintf(stderr, "unknown --scenario '%s'\n", scenario->c_str());
-        return 1;
+    // --spec supplies every layer's configuration; any flag the user also
+    // sets explicitly wins over the spec's value.
+    scenarios::ScenarioSpec spec;
+    bool have_spec = false;
+    if (!spec_path->empty()) {
+        auto sr = scenarios::load_scenario_spec_file(*spec_path);
+        if (!sr.ok) {
+            std::fprintf(stderr, "%s\n", sr.error.c_str());
+            return 1;
+        }
+        spec = std::move(sr.spec);
+        have_spec = true;
     }
-    wl.duration = seconds_i(*duration_s);
-    wl.seed = static_cast<std::uint64_t>(*seed);
 
-    scenarios::TruthConfig tc;
-    tc.delay_based = wl.kind == scenarios::TrafficKind::web;
+    scenarios::TestbedConfig tb = have_spec ? spec.testbed : scenarios::TestbedConfig{};
+    if (!have_spec || flags.is_set("rate-mbps")) {
+        tb.bottleneck_rate_bps = *rate_mbps * 1'000'000;
+    }
+
+    scenarios::WorkloadConfig wl = have_spec ? spec.workload : scenarios::WorkloadConfig{};
+    if (!have_spec || flags.is_set("scenario")) {
+        if (*scenario == "tcp") {
+            wl.kind = scenarios::TrafficKind::infinite_tcp;
+        } else if (*scenario == "cbr") {
+            wl.kind = scenarios::TrafficKind::cbr_uniform;
+        } else if (*scenario == "cbr-multi") {
+            wl.kind = scenarios::TrafficKind::cbr_multi;
+            wl.episode_durations = {milliseconds(50), milliseconds(100), milliseconds(150)};
+        } else if (*scenario == "web") {
+            wl.kind = scenarios::TrafficKind::web;
+        } else {
+            std::fprintf(stderr, "unknown --scenario '%s'\n", scenario->c_str());
+            return 1;
+        }
+    }
+    if (!have_spec || flags.is_set("duration-s")) wl.duration = seconds_i(*duration_s);
+    if (!have_spec || flags.is_set("seed")) wl.seed = static_cast<std::uint64_t>(*seed);
+
+    scenarios::TruthConfig tc = have_spec ? spec.truth : scenarios::TruthConfig{};
+    if (!have_spec) tc.delay_based = wl.kind == scenarios::TrafficKind::web;
 
     scenarios::Experiment exp{tb, wl, tc};
-    probes::ZingProber::Config zc;
-    zc.mean_interval = seconds(1.0 / *hz);
-    zc.packet_bytes = static_cast<std::int32_t>(*packet_bytes);
-    zc.packets_per_flight = static_cast<int>(*flight);
+    probes::ZingProber::Config zc = have_spec ? spec.zing : probes::ZingProber::Config{};
+    if (!have_spec || flags.is_set("hz")) zc.mean_interval = seconds(1.0 / *hz);
+    if (!have_spec || flags.is_set("packet-bytes")) {
+        zc.packet_bytes = static_cast<std::int32_t>(*packet_bytes);
+    }
+    if (!have_spec || flags.is_set("flight")) zc.packets_per_flight = static_cast<int>(*flight);
     auto& zing = exp.add_zing(zc);
 
-    std::printf("running %s for %lld s at %lld Mb/s (ZING %.1f Hz, %lld B)...\n",
-                scenario->c_str(), static_cast<long long>(*duration_s),
-                static_cast<long long>(*rate_mbps), *hz, static_cast<long long>(*packet_bytes));
+    std::printf("running %s for %.0f s at %lld Mb/s (ZING %.1f Hz, %lld B)...\n",
+                scenario->c_str(), wl.duration.to_seconds(),
+                static_cast<long long>(tb.bottleneck_rate_bps / 1'000'000),
+                1.0 / zc.mean_interval.to_seconds(),
+                static_cast<long long>(zc.packet_bytes));
     exp.run();
 
     const auto truth = exp.truth();
